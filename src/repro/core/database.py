@@ -1,0 +1,123 @@
+"""The functional database backing egglog functions.
+
+Unlike most Datalog engines, egglog is backed by a *functional* database
+(Section 5.1): each function/relation is a map from argument tuples to a
+single output value.  Each row additionally carries a timestamp — the
+iteration at which it was inserted or last updated — which is what makes
+semi-naïve evaluation (Section 4.3) possible: a delta query only needs to
+look at rows whose timestamp is at least the rule's last-run timestamp.
+
+Tables also maintain lazily-built hash indexes over column subsets, used by
+the query engine for index-nested-loop joins and by rebuilding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .schema import FunctionDecl
+from .values import Value
+
+Key = Tuple[Value, ...]
+
+
+@dataclass
+class Row:
+    """A single function entry ``f(key) -> value`` with its timestamp."""
+
+    value: Value
+    timestamp: int
+
+
+class Table:
+    """Backing store for one egglog function.
+
+    Columns ``0 .. arity-1`` are the arguments, column ``arity`` is the
+    output.  The table enforces nothing about canonicalization or merges —
+    that is the engine's and the rebuilder's job — it only stores rows and
+    provides lookups, scans, and indexes.
+    """
+
+    def __init__(self, decl: FunctionDecl) -> None:
+        self.decl = decl
+        self.data: Dict[Key, Row] = {}
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], List[Key]]] = {}
+        self._index_versions: Dict[Tuple[int, ...], int] = {}
+        self._version = 0
+
+    # -- basic access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self.data
+
+    @property
+    def arity(self) -> int:
+        return self.decl.arity
+
+    @property
+    def num_columns(self) -> int:
+        return self.decl.arity + 1
+
+    def get(self, key: Key) -> Optional[Value]:
+        row = self.data.get(key)
+        return row.value if row is not None else None
+
+    def get_row(self, key: Key) -> Optional[Row]:
+        return self.data.get(key)
+
+    def put(self, key: Key, value: Value, timestamp: int) -> None:
+        """Insert or overwrite a row.  Bumps the table version."""
+        self.data[key] = Row(value, timestamp)
+        self._version += 1
+
+    def remove(self, key: Key) -> Optional[Row]:
+        """Remove and return a row (None if absent)."""
+        row = self.data.pop(key, None)
+        if row is not None:
+            self._version += 1
+        return row
+
+    def rows(self) -> Iterator[Tuple[Key, Value, int]]:
+        """Iterate over (key, value, timestamp) triples."""
+        for key, row in self.data.items():
+            yield key, row.value, row.timestamp
+
+    def tuples(self) -> Iterator[Tuple[Value, ...]]:
+        """Iterate over full rows as flat tuples (args..., output)."""
+        for key, row in self.data.items():
+            yield key + (row.value,)
+
+    def new_keys(self, since: int) -> List[Key]:
+        """Keys of rows inserted or updated at or after timestamp ``since``."""
+        return [key for key, row in self.data.items() if row.timestamp >= since]
+
+    # -- indexes --------------------------------------------------------------
+
+    def index(self, columns: Tuple[int, ...]) -> Dict[Tuple[Value, ...], List[Key]]:
+        """Hash index mapping projections on ``columns`` to matching keys.
+
+        Indexes are cached and rebuilt lazily when the table has changed.
+        Column ``arity`` refers to the output value.
+        """
+        cached = self._indexes.get(columns)
+        if cached is not None and self._index_versions.get(columns) == self._version:
+            return cached
+        arity = self.decl.arity
+        index: Dict[Tuple[Value, ...], List[Key]] = {}
+        for key, row in self.data.items():
+            projection = tuple(
+                row.value if col == arity else key[col] for col in columns
+            )
+            index.setdefault(projection, []).append(key)
+        self._indexes[columns] = index
+        self._index_versions[columns] = self._version
+        return index
+
+    def column_values(self, column: int) -> Dict[Value, List[Key]]:
+        """Single-column index (used by generic join)."""
+        grouped = self.index((column,))
+        return {proj[0]: keys for proj, keys in grouped.items()}

@@ -1,0 +1,174 @@
+"""Worst-case optimal generic join for egglog queries.
+
+This is the join algorithm used by relational e-matching (Zhang et al. 2022)
+and by the egglog query engine described in Section 5.1 of the paper: instead
+of joining one *atom* at a time, generic join binds one *variable* at a time,
+intersecting the candidate values contributed by every atom that mentions the
+variable.  On cyclic or multi-pattern queries this avoids the intermediate
+blowups of pairwise joins.
+
+The implementation builds, per query execution, a trie (nested dictionary)
+for each atom keyed by that atom's variables in the global variable order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .builtins import PrimitiveRegistry
+from .database import Table
+from .query import Query, QVar, Substitution, TableAtom, apply_prims
+from .values import Value
+
+
+def _atom_rows(
+    atom: TableAtom, table: Table, restrict_new: bool, since: int
+) -> Iterator[Tuple[Value, ...]]:
+    """Rows of ``table`` as full tuples, optionally restricted to new rows."""
+    for key, row in table.data.items():
+        if restrict_new and row.timestamp < since:
+            continue
+        yield key + (row.value,)
+
+
+def _project_atom(
+    atom: TableAtom, rows: Iterator[Tuple[Value, ...]]
+) -> Tuple[List[str], List[Tuple[Value, ...]]]:
+    """Filter rows by the atom's constants and repeated variables, then
+    project each row onto the atom's distinct variables (first-occurrence
+    order).  Returns (variable names, projected rows)."""
+    columns = atom.columns()
+    var_positions: Dict[str, int] = {}
+    var_order: List[str] = []
+    for position, col in enumerate(columns):
+        if isinstance(col, QVar) and col.name not in var_positions:
+            var_positions[col.name] = position
+            var_order.append(col.name)
+
+    projected: List[Tuple[Value, ...]] = []
+    for row in rows:
+        ok = True
+        for position, col in enumerate(columns):
+            if isinstance(col, QVar):
+                if row[var_positions[col.name]] != row[position]:
+                    ok = False
+                    break
+            elif col != row[position]:
+                ok = False
+                break
+        if ok:
+            projected.append(tuple(row[var_positions[name]] for name in var_order))
+    return var_order, projected
+
+
+def _build_trie(rows: Sequence[Tuple[Value, ...]], permutation: Sequence[int]) -> Dict:
+    """Build a nested-dict trie over ``rows`` keyed in ``permutation`` order."""
+    root: Dict = {}
+    if not permutation:
+        # Zero-variable atom: the trie is just a non-emptiness marker.
+        return {"__nonempty__": True} if rows else {}
+    for row in rows:
+        node = root
+        for position in permutation[:-1]:
+            node = node.setdefault(row[position], {})
+        node.setdefault(row[permutation[-1]], True)
+    return root
+
+
+def search_generic(
+    tables: Dict[str, Table],
+    registry: PrimitiveRegistry,
+    query: Query,
+    delta_atom: Optional[int] = None,
+    since: int = 0,
+) -> Iterator[Substitution]:
+    """Run ``query`` with a variable-at-a-time worst-case optimal join.
+
+    ``delta_atom``/``since`` implement the semi-naïve restriction: when given,
+    the designated atom only contributes rows with ``timestamp >= since``.
+    """
+    atoms = query.atoms
+    if not atoms:
+        result = apply_prims(query.prims, {}, registry)
+        if result is not None:
+            yield result
+        return
+    for atom in atoms:
+        if atom.func not in tables:
+            return
+
+    # Project every atom onto its variables.
+    atom_vars: List[List[str]] = []
+    atom_rows: List[List[Tuple[Value, ...]]] = []
+    for index, atom in enumerate(atoms):
+        restrict = delta_atom is not None and index == delta_atom
+        names, rows = _project_atom(
+            atom, _atom_rows(atom, tables[atom.func], restrict, since)
+        )
+        if not rows:
+            # An empty atom (whether it has variables or is ground) means the
+            # whole conjunction has no answers.
+            return
+        atom_vars.append(names)
+        atom_rows.append(rows)
+
+    # Global variable order: variables that occur in many atoms first (they
+    # constrain the search the most), tie-broken by the smallest total
+    # candidate count.
+    occurrence: Dict[str, int] = {}
+    total_rows: Dict[str, int] = {}
+    for names, rows in zip(atom_vars, atom_rows):
+        for name in names:
+            occurrence[name] = occurrence.get(name, 0) + 1
+            total_rows[name] = total_rows.get(name, 0) + len(rows)
+    var_order = sorted(occurrence, key=lambda v: (-occurrence[v], total_rows[v]))
+    var_rank = {name: rank for rank, name in enumerate(var_order)}
+
+    # Build one trie per atom, keyed by its variables sorted in global order.
+    tries: List[Dict] = []
+    atom_sorted_vars: List[List[str]] = []
+    for names, rows in zip(atom_vars, atom_rows):
+        sorted_names = sorted(names, key=lambda v: var_rank[v])
+        permutation = [names.index(v) for v in sorted_names]
+        tries.append(_build_trie(rows, permutation))
+        atom_sorted_vars.append(sorted_names)
+
+    n_atoms = len(atoms)
+
+    def recurse(
+        depth: int, nodes: List[Dict], consumed: Tuple[int, ...], bindings: Substitution
+    ) -> Iterator[Substitution]:
+        if depth == len(var_order):
+            final = apply_prims(query.prims, dict(bindings), registry)
+            if final is not None:
+                yield final
+            return
+        variable = var_order[depth]
+        relevant = [
+            index
+            for index in range(n_atoms)
+            if consumed[index] < len(atom_sorted_vars[index])
+            and atom_sorted_vars[index][consumed[index]] == variable
+        ]
+        if not relevant:
+            yield from recurse(depth + 1, nodes, consumed, bindings)
+            return
+        smallest = min(relevant, key=lambda index: len(nodes[index]))
+        for value in nodes[smallest]:
+            new_nodes = list(nodes)
+            new_consumed = list(consumed)
+            ok = True
+            for index in relevant:
+                child = nodes[index].get(value)
+                if child is None:
+                    ok = False
+                    break
+                new_nodes[index] = child if isinstance(child, dict) else {}
+                new_consumed[index] = consumed[index] + 1
+            if not ok:
+                continue
+            bindings[variable] = value
+            yield from recurse(depth + 1, new_nodes, tuple(new_consumed), bindings)
+            del bindings[variable]
+
+    yield from recurse(0, tries, tuple(0 for _ in range(n_atoms)), {})

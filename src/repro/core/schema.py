@@ -1,0 +1,110 @@
+"""Function schemas: declarations of egglog functions and relations.
+
+An egglog function (Section 3.2 of the paper) is a map from argument tuples
+to a single output value, with a *merge expression* that says how to repair a
+functional-dependency violation when the same (canonicalized) arguments end
+up with two different outputs, and a *default expression* used when a term is
+evaluated before the function is defined on it ("get-or-default").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from .values import UNIT, Value
+
+# A merge function combines the old and the new output value into the value
+# that should be stored.  The engine takes care of performing the union when
+# the output sort is an eq-sort and no merge function is given.
+MergeFn = Callable[[Value, Value], Value]
+
+# A default function produces the output value for a not-yet-defined key.  It
+# receives the argument tuple (canonicalized) so defaults may depend on it.
+DefaultFn = Callable[[Tuple[Value, ...]], Value]
+
+MERGE_UNION = "union"
+MERGE_ERROR = "error"
+
+
+@dataclass
+class FunctionDecl:
+    """Declaration of an egglog function.
+
+    Attributes:
+        name: unique function symbol.
+        arg_sorts: names of the argument sorts.
+        out_sort: name of the output sort.
+        merge: how to resolve functional-dependency conflicts.  One of the
+            strings ``"union"`` (only valid for eq-sort outputs) or
+            ``"error"``, or a callable ``(old, new) -> merged``.
+        default: output for missing keys.  ``None`` means: fresh id for
+            eq-sort outputs (the "make-set" default from the paper), unit for
+            Unit outputs, and an error for other primitive outputs.  A
+            constant :class:`Value` or a callable over the argument tuple may
+            be supplied instead.
+        cost: per-node cost used by extraction.
+        unextractable: if True, extraction never picks this function.
+        is_datatype_constructor: marks constructors introduced by
+            ``datatype`` sugar (used by extraction and pretty printing).
+    """
+
+    name: str
+    arg_sorts: Tuple[str, ...]
+    out_sort: str
+    merge: object = None
+    default: object = None
+    cost: int = 1
+    unextractable: bool = False
+    is_datatype_constructor: bool = False
+
+    def __post_init__(self) -> None:
+        self.arg_sorts = tuple(self.arg_sorts)
+        if self.merge is None:
+            # The paper's defaults: union for eq-sorted outputs (set by the
+            # engine, which knows the sort kinds); error otherwise.  We leave
+            # None here and let the engine normalize it at declaration time.
+            pass
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_sorts)
+
+    @property
+    def is_relation(self) -> bool:
+        """A relation is a function whose output sort is Unit."""
+        return self.out_sort == UNIT
+
+    def signature(self) -> str:
+        args = " ".join(self.arg_sorts)
+        return f"({self.name} ({args}) {self.out_sort})"
+
+
+@dataclass
+class RunReport:
+    """Statistics about one call to ``EGraph.run``."""
+
+    iterations: int = 0
+    saturated: bool = False
+    search_time: float = 0.0
+    apply_time: float = 0.0
+    rebuild_time: float = 0.0
+    num_matches: int = 0
+    updated: bool = False
+    per_rule_matches: dict = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return self.search_time + self.apply_time + self.rebuild_time
+
+    def merge_with(self, other: "RunReport") -> None:
+        """Accumulate another report (e.g. one iteration) into this one."""
+        self.iterations += other.iterations
+        self.saturated = other.saturated
+        self.search_time += other.search_time
+        self.apply_time += other.apply_time
+        self.rebuild_time += other.rebuild_time
+        self.num_matches += other.num_matches
+        self.updated = self.updated or other.updated
+        for name, count in other.per_rule_matches.items():
+            self.per_rule_matches[name] = self.per_rule_matches.get(name, 0) + count

@@ -1,0 +1,130 @@
+"""Union-find (disjoint set) data structure.
+
+This is the equivalence-relation substrate of egglog (Section 3.3 of the
+paper): every uninterpreted sort is backed by a set of opaque integer ids and
+a union-find that canonicalizes them.  Two ids are equivalent iff they
+canonicalize to the same id.
+
+The implementation uses path compression and union by size.  It also records
+the set of "dirty" canonical ids created by recent unions so the rebuilding
+procedure (``repro.core.rebuild``) knows which database rows may need to be
+re-canonicalized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+
+class UnionFind:
+    """A union-find over dense integer ids ``0..n-1``.
+
+    >>> uf = UnionFind()
+    >>> a, b, c = uf.make_set(), uf.make_set(), uf.make_set()
+    >>> uf.union(a, b)
+    0
+    >>> uf.same(a, b)
+    True
+    >>> uf.same(a, c)
+    False
+    """
+
+    def __init__(self) -> None:
+        self._parent: List[int] = []
+        self._size: List[int] = []
+        # Ids whose canonical representative changed since the last call to
+        # ``take_dirty``.  Stored as the *old* (now stale) representatives.
+        self._dirty: Set[int] = set()
+        self._n_unions = 0
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def n_unions(self) -> int:
+        """Total number of merging unions performed so far."""
+        return self._n_unions
+
+    def make_set(self) -> int:
+        """Create a fresh singleton equivalence class and return its id."""
+        ident = len(self._parent)
+        self._parent.append(ident)
+        self._size.append(1)
+        return ident
+
+    def make_sets(self, count: int) -> List[int]:
+        """Create ``count`` fresh singleton classes."""
+        return [self.make_set() for _ in range(count)]
+
+    def find(self, ident: int) -> int:
+        """Return the canonical representative of ``ident``.
+
+        Uses iterative path compression (halving).
+        """
+        parent = self._parent
+        root = ident
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression.
+        while parent[ident] != root:
+            ident, parent[ident] = parent[ident], root
+        return root
+
+    def same(self, a: int, b: int) -> bool:
+        """Return True iff ``a`` and ``b`` are in the same equivalence class."""
+        return self.find(a) == self.find(b)
+
+    def is_canonical(self, ident: int) -> bool:
+        """Return True iff ``ident`` is its own representative."""
+        return self._parent[ident] == ident
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the classes of ``a`` and ``b``; return the new representative.
+
+        The id that stops being canonical is recorded as dirty so rebuilding
+        can repair rows that mention it.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        # Union by size: the larger class keeps its representative.
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._dirty.add(rb)
+        self._n_unions += 1
+        return ra
+
+    def union_all(self, ids: Iterable[int]) -> int:
+        """Merge every id in ``ids`` into a single class."""
+        ids = list(ids)
+        if not ids:
+            raise ValueError("union_all requires at least one id")
+        root = self.find(ids[0])
+        for other in ids[1:]:
+            root = self.union(root, other)
+        return root
+
+    @property
+    def has_dirty(self) -> bool:
+        return bool(self._dirty)
+
+    def take_dirty(self) -> Set[int]:
+        """Return and clear the set of ids made non-canonical since last call."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
+
+    def class_members(self, ident: int) -> List[int]:
+        """Return all ids currently in the same class as ``ident``.
+
+        This is an O(n) scan and intended for debugging, tests, and
+        extraction-style post-processing, not for the hot path.
+        """
+        root = self.find(ident)
+        return [i for i in range(len(self._parent)) if self.find(i) == root]
+
+    def n_classes(self) -> int:
+        """Number of distinct equivalence classes."""
+        return sum(1 for i in range(len(self._parent)) if self._parent[i] == i)

@@ -1,0 +1,173 @@
+"""Sorts and runtime values for the egglog core.
+
+egglog distinguishes two kinds of sorts (Section 4.2 of the paper):
+
+* *Uninterpreted sorts* (``EqSort``): their values are opaque integer ids
+  drawn from a union-find, and the user may ``union`` them.  These play the
+  role of e-class ids in equality saturation.
+* *Primitive sorts* (``PrimitiveSort``): interpreted base types such as
+  ``i64``, ``f64``, ``bool``, ``String``, ``Rational``, ``Unit`` and container
+  sorts such as ``Set``.  Interpreted constants are only equal to themselves.
+
+A runtime :class:`Value` pairs a sort name with a payload: an ``int`` id for
+eq-sorts, or the corresponding Python object for primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Hashable
+
+# ---------------------------------------------------------------------------
+# Sorts
+# ---------------------------------------------------------------------------
+
+I64 = "i64"
+F64 = "f64"
+BOOL = "bool"
+STRING = "String"
+UNIT = "Unit"
+RATIONAL = "Rational"
+
+
+@dataclass(frozen=True)
+class Sort:
+    """Base class for sorts.  ``name`` is globally unique within an engine."""
+
+    name: str
+
+    @property
+    def is_eq_sort(self) -> bool:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class EqSort(Sort):
+    """A user-declared uninterpreted sort whose values can be unified."""
+
+    @property
+    def is_eq_sort(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class PrimitiveSort(Sort):
+    """An interpreted base sort (i64, String, ...)."""
+
+    @property
+    def is_eq_sort(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class SetSort(Sort):
+    """A container sort holding a frozenset of element values."""
+
+    element: str = STRING
+
+    @property
+    def is_eq_sort(self) -> bool:
+        return False
+
+
+BUILTIN_SORTS = {
+    I64: PrimitiveSort(I64),
+    F64: PrimitiveSort(F64),
+    BOOL: PrimitiveSort(BOOL),
+    STRING: PrimitiveSort(STRING),
+    UNIT: PrimitiveSort(UNIT),
+    RATIONAL: PrimitiveSort(RATIONAL),
+}
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Value:
+    """A runtime value: a sort name plus a hashable payload.
+
+    For eq-sorts the payload is an integer id into that engine's union-find.
+    Note that two ``Value`` objects with different ids may still denote the
+    same equivalence class; use ``engine.canonicalize`` before comparing.
+    """
+
+    sort: str
+    data: Hashable
+
+    def __repr__(self) -> str:
+        return f"{self.sort}#{self.data!r}"
+
+
+UNIT_VALUE = Value(UNIT, ())
+
+
+def i64(value: int) -> Value:
+    """Construct an ``i64`` value."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"i64 payload must be an int, got {value!r}")
+    return Value(I64, value)
+
+
+def f64(value: float) -> Value:
+    """Construct an ``f64`` value."""
+    return Value(F64, float(value))
+
+
+def boolean(value: bool) -> Value:
+    """Construct a ``bool`` value."""
+    return Value(BOOL, bool(value))
+
+
+def string(value: str) -> Value:
+    """Construct a ``String`` value."""
+    if not isinstance(value, str):
+        raise TypeError(f"String payload must be a str, got {value!r}")
+    return Value(STRING, value)
+
+
+def rational(numer: int, denom: int = 1) -> Value:
+    """Construct a ``Rational`` value (exact fraction)."""
+    return Value(RATIONAL, Fraction(numer, denom))
+
+
+def rational_from_fraction(frac: Fraction) -> Value:
+    """Wrap an existing :class:`fractions.Fraction` as a Rational value."""
+    return Value(RATIONAL, frac)
+
+
+def value_set(sort_name: str, items: Any = ()) -> Value:
+    """Construct a set value of the given set-sort name."""
+    return Value(sort_name, frozenset(items))
+
+
+def from_python(obj: Any) -> Value:
+    """Best-effort conversion of a plain Python object into a Value.
+
+    This is a convenience for the library API and tests; the language layer
+    always constructs values with explicit sorts.
+    """
+    if isinstance(obj, Value):
+        return obj
+    if isinstance(obj, bool):
+        return boolean(obj)
+    if isinstance(obj, int):
+        return i64(obj)
+    if isinstance(obj, float):
+        return f64(obj)
+    if isinstance(obj, str):
+        return string(obj)
+    if isinstance(obj, Fraction):
+        return rational_from_fraction(obj)
+    raise TypeError(f"cannot convert {obj!r} to an egglog value")
+
+
+def to_python(value: Value) -> Any:
+    """Unwrap a primitive Value back into its Python payload."""
+    return value.data
