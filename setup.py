@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables editable
+installs (``pip install -e . --no-use-pep517``) in environments without the
+``wheel`` package, where PEP 660 editable builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

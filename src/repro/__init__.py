@@ -1,0 +1,15 @@
+"""repro: a Python reproduction of egglog.
+
+egglog ("Better Together: Unifying Datalog and Equality Saturation",
+Zhang et al., PACMPL 7(PLDI), 2023) unifies Datalog and equality saturation
+in one fixpoint engine.  ``repro.core`` holds the substrate (union-find,
+functional database, query engines, primitives, terms); ``repro.engine``
+holds the engine itself (rules, actions, rebuilding, the semi-naïve
+scheduler, and the ``EGraph`` facade).
+"""
+
+from .engine import EGraph
+
+__version__ = "0.1.0"
+
+__all__ = ["EGraph", "__version__"]

@@ -15,6 +15,7 @@ enclosing action raise).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -61,6 +62,15 @@ class PrimitiveError(Exception):
     """Raised when a primitive is applied to unsupported arguments."""
 
 
+def _binds(fn: Callable[..., object], n_args: int) -> bool:
+    """True iff ``fn`` accepts ``n_args`` positional arguments."""
+    try:
+        inspect.signature(fn).bind(*([None] * n_args))
+        return True
+    except TypeError:
+        return False
+
+
 class PrimitiveRegistry:
     """Registry of primitive operations, supporting overloads."""
 
@@ -87,7 +97,15 @@ class PrimitiveRegistry:
         """Apply primitive ``name``; return None if no overload applies."""
         for prim in self._prims.get(name, []):
             if prim.accepts(args):
-                result = prim.fn(*args)
+                try:
+                    result = prim.fn(*args)
+                except TypeError:
+                    # A sort-agnostic overload declares no arity; skip it as
+                    # "not applicable" when the call itself cannot bind, but
+                    # keep genuine TypeErrors from inside the body loud.
+                    if prim.arg_sorts is None and not _binds(prim.fn, len(args)):
+                        continue
+                    raise
                 if result is not None:
                     return result
         return None
@@ -182,10 +200,12 @@ def default_registry() -> PrimitiveRegistry:
         reg.register(">", _cmp(lambda x, y: x > y), two, BOOL)
         reg.register(">=", _cmp(lambda x, y: x >= y), two, BOOL)
 
-    # Equality / disequality are polymorphic: they compare canonical values.
-    reg.register("value-eq", lambda a, b: boolean(a == b), None, BOOL)
-    reg.register("=", lambda a, b: boolean(a == b), None, BOOL)
-    reg.register("!=", lambda a, b: boolean(a != b), None, BOOL)
+    # Equality / disequality are polymorphic ("any" sort) but strictly
+    # binary: they compare canonical values of any single sort.
+    any_pair = ("any", "any")
+    reg.register("value-eq", lambda a, b: boolean(a == b), any_pair, BOOL)
+    reg.register("=", lambda a, b: boolean(a == b), any_pair, BOOL)
+    reg.register("!=", lambda a, b: boolean(a != b), any_pair, BOOL)
 
     # -- booleans ------------------------------------------------------------
     reg.register("and", lambda a, b: boolean(a.data and b.data), (BOOL, BOOL), BOOL)

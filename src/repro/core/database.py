@@ -13,6 +13,7 @@ the query engine for index-nested-loop joins and by rebuilding.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -45,6 +46,14 @@ class Table:
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], List[Key]]] = {}
         self._index_versions: Dict[Tuple[int, ...], int] = {}
         self._version = 0
+        # Append-only write log (parallel timestamp/key arrays) so that
+        # ``new_keys`` — the semi-naïve delta (Section 4.3) — costs
+        # O(|delta|) rather than a full-table scan.  The engine only writes
+        # with non-decreasing timestamps; if a caller ever writes out of
+        # order the log degrades gracefully to a scan.
+        self._log_ts: List[int] = []
+        self._log_keys: List[Key] = []
+        self._log_sorted = True
 
     # -- basic access --------------------------------------------------------
 
@@ -73,6 +82,22 @@ class Table:
         """Insert or overwrite a row.  Bumps the table version."""
         self.data[key] = Row(value, timestamp)
         self._version += 1
+        if self._log_ts and timestamp < self._log_ts[-1]:
+            self._log_sorted = False
+        self._log_ts.append(timestamp)
+        self._log_keys.append(key)
+        if len(self._log_ts) > 64 and len(self._log_ts) > 4 * len(self.data):
+            self._compact_log()
+
+    def _compact_log(self) -> None:
+        """Rebuild the write log from live rows (drops dead/duplicate entries)."""
+        entries = sorted(
+            ((row.timestamp, key) for key, row in self.data.items()),
+            key=lambda entry: entry[0],
+        )
+        self._log_ts = [ts for ts, _key in entries]
+        self._log_keys = [key for _ts, key in entries]
+        self._log_sorted = True
 
     def remove(self, key: Key) -> Optional[Row]:
         """Remove and return a row (None if absent)."""
@@ -92,8 +117,28 @@ class Table:
             yield key + (row.value,)
 
     def new_keys(self, since: int) -> List[Key]:
-        """Keys of rows inserted or updated at or after timestamp ``since``."""
-        return [key for key, row in self.data.items() if row.timestamp >= since]
+        """Keys of rows inserted or updated at or after timestamp ``since``.
+
+        This is the delta used by semi-naïve evaluation (Section 4.3): a
+        rule's incremental search restricts one atom at a time to these rows.
+        With the usual non-decreasing write timestamps this reads only the
+        log suffix at or after ``since`` — O(|delta|), not O(|table|).
+        """
+        if not self._log_sorted:
+            return [key for key, row in self.data.items() if row.timestamp >= since]
+        start = bisect_left(self._log_ts, since)
+        out: List[Key] = []
+        seen = set()
+        for key in self._log_keys[start:]:
+            if key in seen:
+                continue
+            seen.add(key)
+            row = self.data.get(key)
+            # Skip keys removed since, or whose live row predates ``since``
+            # (possible only after an out-of-order overwrite).
+            if row is not None and row.timestamp >= since:
+                out.append(key)
+        return out
 
     # -- indexes --------------------------------------------------------------
 

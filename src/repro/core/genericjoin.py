@@ -22,12 +22,21 @@ from .values import Value
 
 
 def _atom_rows(
-    atom: TableAtom, table: Table, restrict_new: bool, since: int
+    table: Table, restrict_new: bool, since: int
 ) -> Iterator[Tuple[Value, ...]]:
-    """Rows of ``table`` as full tuples, optionally restricted to new rows."""
+    """Rows of ``table`` as full tuples, optionally restricted to new rows.
+
+    The ``restrict_new``/``since`` pair is the semi-naïve delta restriction
+    (Section 4.3): only rows stamped at or after ``since`` participate —
+    enumerated via the table's write log, so the delta atom costs
+    O(|delta|), not a full scan.
+    """
+    if restrict_new:
+        for key in table.new_keys(since):
+            row = table.data[key]
+            yield key + (row.value,)
+        return
     for key, row in table.data.items():
-        if restrict_new and row.timestamp < since:
-            continue
         yield key + (row.value,)
 
 
@@ -103,7 +112,7 @@ def search_generic(
     for index, atom in enumerate(atoms):
         restrict = delta_atom is not None and index == delta_atom
         names, rows = _project_atom(
-            atom, _atom_rows(atom, tables[atom.func], restrict, since)
+            atom, _atom_rows(tables[atom.func], restrict, since)
         )
         if not rows:
             # An empty atom (whether it has variables or is ground) means the

@@ -254,7 +254,6 @@ def search_indexed(
         atom_index = order[position]
         atom = atoms[atom_index]
         table = tables[atom.func]
-        arity = table.arity
         columns = atom.columns()
         is_delta = delta_atom is not None and atom_index == delta_atom
 
@@ -289,6 +288,5 @@ def search_indexed(
             if extended is None:
                 continue
             yield from recurse(position + 1, extended)
-        _ = arity  # arity retained for clarity of column numbering
 
     yield from recurse(0, {})

@@ -10,7 +10,7 @@ evaluated before the function is defined on it ("get-or-default").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Tuple
+from typing import Callable, Tuple
 
 from .values import UNIT, Value
 
@@ -82,7 +82,12 @@ class FunctionDecl:
 
 @dataclass
 class RunReport:
-    """Statistics about one call to ``EGraph.run``."""
+    """Statistics about one call to ``EGraph.run``.
+
+    One report covers one or more search → apply → rebuild iterations of the
+    semi-naïve scheduler (Section 4.3).  ``saturated`` means the last
+    iteration changed nothing — the fixpoint was reached.
+    """
 
     iterations: int = 0
     saturated: bool = False
@@ -95,7 +100,18 @@ class RunReport:
 
     @property
     def total_time(self) -> float:
+        """Total wall-clock time across all three phases."""
         return self.search_time + self.apply_time + self.rebuild_time
+
+    def summary(self) -> str:
+        """One-line human-readable digest, for examples and logs."""
+        status = "saturated" if self.saturated else "iteration limit"
+        return (
+            f"{self.iterations} iteration(s), {self.num_matches} match(es), "
+            f"{status}, {self.total_time * 1000:.1f} ms "
+            f"(search {self.search_time * 1000:.1f} / apply {self.apply_time * 1000:.1f} "
+            f"/ rebuild {self.rebuild_time * 1000:.1f})"
+        )
 
     def merge_with(self, other: "RunReport") -> None:
         """Accumulate another report (e.g. one iteration) into this one."""

@@ -1,6 +1,7 @@
 """Terms and patterns.
 
-Terms are the tree-shaped surface syntax of egglog expressions: nested
+Terms are the tree-shaped surface syntax of egglog expressions (the exprs of
+Section 3.1 of the paper): nested
 applications of function symbols to literals and variables.  The core engine
 works on *flattened* conjunctive queries (see ``repro.core.query``), but the
 library API, the rewrite/rule sugar, the extraction results, and the text

@@ -6,9 +6,9 @@ a union-find that canonicalizes them.  Two ids are equivalent iff they
 canonicalize to the same id.
 
 The implementation uses path compression and union by size.  It also records
-the set of "dirty" canonical ids created by recent unions so the rebuilding
-procedure (``repro.core.rebuild``) knows which database rows may need to be
-re-canonicalized.
+the set of "dirty" ids displaced by recent unions so the rebuilding
+procedure (``repro.engine.rebuild``, Section 4 of the paper) knows which
+database rows may need to be re-canonicalized.
 """
 
 from __future__ import annotations
@@ -111,7 +111,11 @@ class UnionFind:
         return bool(self._dirty)
 
     def take_dirty(self) -> Set[int]:
-        """Return and clear the set of ids made non-canonical since last call."""
+        """Return and clear the set of ids made non-canonical since last call.
+
+        Rebuilding (Section 4) drives its repair loop off this set: while it
+        is non-empty, some database rows may mention stale ids.
+        """
         dirty = self._dirty
         self._dirty = set()
         return dirty

@@ -1,0 +1,50 @@
+"""The egglog engine: rules, actions, rebuilding, scheduling, extraction.
+
+This package turns the substrate in :mod:`repro.core` into the unified
+Datalog + equality-saturation engine of the paper:
+
+* :mod:`repro.engine.actions` — rule right-hand sides and merge resolution
+* :mod:`repro.engine.rule` — rules, facts, and rewrite/birewrite sugar
+* :mod:`repro.engine.rebuild` — congruence-closure rebuilding (Section 4)
+* :mod:`repro.engine.scheduler` — semi-naïve fixpoint iteration (Section 4.3)
+* :mod:`repro.engine.egraph` — the user-facing :class:`EGraph` facade
+"""
+
+from .actions import Action, Delete, Expr, Let, Panic, Set, Union
+from .egraph import SEARCH_STRATEGIES, EGraph
+from .errors import CheckError, EGraphError, EGraphPanic, ExtractError, MergeError
+from .rule import (
+    DEFAULT_RULESET,
+    CompiledRule,
+    EqFact,
+    Rule,
+    birewrite,
+    eq,
+    rewrite,
+)
+from .scheduler import Scheduler
+
+__all__ = [
+    "Action",
+    "CheckError",
+    "CompiledRule",
+    "DEFAULT_RULESET",
+    "Delete",
+    "EGraph",
+    "EGraphError",
+    "EGraphPanic",
+    "EqFact",
+    "Expr",
+    "ExtractError",
+    "Let",
+    "MergeError",
+    "Panic",
+    "Rule",
+    "SEARCH_STRATEGIES",
+    "Scheduler",
+    "Set",
+    "Union",
+    "birewrite",
+    "eq",
+    "rewrite",
+]

@@ -1,0 +1,557 @@
+"""The user-facing ``EGraph``: the unified Datalog + equality-saturation engine.
+
+This facade ties the whole reproduction together (Figure 1 of the paper:
+egglog is both a Datalog engine whose relations are functions with merge
+expressions and an e-graph engine whose rewrites are rules):
+
+* **Declarations** — :meth:`declare_sort`, :meth:`function`,
+  :meth:`relation`, :meth:`constructor` (Sections 3.2–3.3).
+* **Ground facts** — :meth:`add` / :meth:`union` evaluate terms with
+  get-or-default semantics: an application absent from the database is
+  inserted with its function's default output (a fresh e-class id for
+  eq-sorts), which is how e-nodes are hash-consed into the database.
+* **Rules** — :meth:`add_rule` / :meth:`add_rewrite` compile term-level
+  rules (``repro.engine.rule``) into flat conjunctive queries.
+* **Running** — :meth:`run` drives the semi-naïve scheduler
+  (``repro.engine.scheduler``, Section 4.3); :meth:`rebuild` restores
+  congruence closure (``repro.engine.rebuild``, Section 4).
+* **Queries** — :meth:`query`, :meth:`check`, :meth:`check_equal`
+  (e-matching via relational joins, Section 5.1).
+* **Extraction** — :meth:`extract` returns a minimum-cost term for an
+  e-class, the standard equality-saturation cost extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.builtins import PrimitiveRegistry, default_registry
+from ..core.database import Table
+from ..core.genericjoin import search_generic
+from ..core.query import Query, Substitution, search_indexed
+from ..core.schema import MERGE_ERROR, MERGE_UNION, FunctionDecl, RunReport
+from ..core.terms import Term, TermApp, TermLit, TermLike, TermVar, as_term
+from ..core.unionfind import UnionFind
+from ..core.values import BUILTIN_SORTS, UNIT, UNIT_VALUE, EqSort, Sort, Value, from_python
+from .actions import Action, Delete, Expr, Let, Set, Union
+from .errors import CheckError, EGraphError, ExtractError
+from .rebuild import rebuild as _rebuild
+from .rule import DEFAULT_RULESET, CompiledRule, Fact, Rule, compile_facts, compile_rule
+from .rule import birewrite as _birewrite
+from .rule import rewrite as _rewrite
+from .scheduler import Scheduler
+
+Key = Tuple[Value, ...]
+
+#: Available join strategies for query search (Section 5.1: any relational
+#: join algorithm implements e-matching over the canonical database).
+SEARCH_STRATEGIES = {
+    "indexed": search_indexed,
+    "generic": search_generic,
+}
+
+
+class EGraph:
+    """An egglog engine instance.
+
+    ``strategy`` selects the join algorithm used for rule search:
+    ``"indexed"`` (index-nested-loop, the default) or ``"generic"``
+    (worst-case-optimal generic join, as in relational e-matching).
+    """
+
+    def __init__(
+        self,
+        *,
+        strategy: str = "indexed",
+        registry: Optional[PrimitiveRegistry] = None,
+    ) -> None:
+        if strategy not in SEARCH_STRATEGIES:
+            raise EGraphError(
+                f"unknown search strategy {strategy!r}; pick one of "
+                f"{sorted(SEARCH_STRATEGIES)}"
+            )
+        self.strategy = strategy
+        self._search_fn = SEARCH_STRATEGIES[strategy]
+        self.uf = UnionFind()
+        self.registry = registry if registry is not None else default_registry()
+        self.sorts: Dict[str, Sort] = dict(BUILTIN_SORTS)
+        self.decls: Dict[str, FunctionDecl] = {}
+        self.tables: Dict[str, Table] = {}
+        self.rules: Dict[str, CompiledRule] = {}
+        self.rulesets: Dict[str, List[str]] = {DEFAULT_RULESET: []}
+        #: Current semi-naïve timestamp; rows written now carry this stamp.
+        self.timestamp = 0
+        self._updates = 0
+        self.scheduler = Scheduler(self)
+
+    # -- change tracking ------------------------------------------------------
+
+    @property
+    def updates(self) -> int:
+        """Monotone counter of database/union-find changes (saturation test)."""
+        return self._updates
+
+    def note_update(self) -> None:
+        """Record that the database or equivalence relation changed."""
+        self._updates += 1
+
+    # -- declarations ---------------------------------------------------------
+
+    def declare_sort(self, name: str) -> EqSort:
+        """Declare an uninterpreted sort whose values can be unified (§3.3)."""
+        if name in self.sorts:
+            raise EGraphError(f"sort {name!r} already declared")
+        sort = EqSort(name)
+        self.sorts[name] = sort
+        return sort
+
+    def function(
+        self,
+        name: str,
+        arg_sorts: Sequence[str],
+        out_sort: str,
+        *,
+        merge: object = None,
+        default: object = None,
+        cost: int = 1,
+        unextractable: bool = False,
+        is_datatype_constructor: bool = False,
+    ) -> FunctionDecl:
+        """Declare a function symbol backed by a database table (§3.2).
+
+        ``merge`` may be ``None`` (union for eq-sorted outputs, error
+        otherwise — the paper's defaults), the strings ``"union"`` or
+        ``"error"``, the name of a binary primitive (e.g. ``"min"``), or a
+        callable ``(old, new) -> Value``.
+        """
+        if name in self.decls:
+            raise EGraphError(f"function {name!r} already declared")
+        if name in self.registry:
+            raise EGraphError(f"function {name!r} collides with a primitive")
+        for sort_name in tuple(arg_sorts) + (out_sort,):
+            if sort_name not in self.sorts:
+                raise EGraphError(f"unknown sort {sort_name!r} in declaration of {name!r}")
+        decl = FunctionDecl(
+            name=name,
+            arg_sorts=tuple(arg_sorts),
+            out_sort=out_sort,
+            merge=self._normalize_merge(name, merge, out_sort),
+            default=default,
+            cost=cost,
+            unextractable=unextractable,
+            is_datatype_constructor=is_datatype_constructor,
+        )
+        self.decls[name] = decl
+        self.tables[name] = Table(decl)
+        return decl
+
+    def relation(self, name: str, arg_sorts: Sequence[str]) -> FunctionDecl:
+        """Declare a Datalog-style relation: a function with Unit output."""
+        return self.function(name, arg_sorts, UNIT)
+
+    def constructor(
+        self, name: str, arg_sorts: Sequence[str], out_sort: str, *, cost: int = 1
+    ) -> FunctionDecl:
+        """Declare a datatype constructor (eq-sorted output, union merge)."""
+        if not self.sorts.get(out_sort, EqSort("")).is_eq_sort or out_sort not in self.sorts:
+            raise EGraphError(f"constructor {name!r} needs an eq-sort output, got {out_sort!r}")
+        return self.function(
+            name, arg_sorts, out_sort, cost=cost, is_datatype_constructor=True
+        )
+
+    def _normalize_merge(self, name: str, merge: object, out_sort: str) -> object:
+        out_is_eq = self.sorts[out_sort].is_eq_sort
+        if merge is None:
+            return MERGE_UNION if out_is_eq else MERGE_ERROR
+        if merge == MERGE_UNION:
+            if not out_is_eq:
+                raise EGraphError(f"{name!r}: merge=\"union\" requires an eq-sort output")
+            return MERGE_UNION
+        if merge == MERGE_ERROR:
+            return MERGE_ERROR
+        if isinstance(merge, str):
+            if merge not in self.registry:
+                raise EGraphError(f"{name!r}: merge primitive {merge!r} is not registered")
+            registry = self.registry
+            prim_name = merge
+
+            def prim_merge(old: Value, new: Value) -> Optional[Value]:
+                return registry.call(prim_name, (old, new))
+
+            return prim_merge
+        if callable(merge):
+            return merge
+        raise EGraphError(f"{name!r}: cannot interpret merge {merge!r}")
+
+    def is_table(self, name: str) -> bool:
+        """True iff ``name`` is a declared function/relation (not a primitive)."""
+        return name in self.decls
+
+    # -- values ---------------------------------------------------------------
+
+    def make_id(self, sort_name: str) -> Value:
+        """Allocate a fresh e-class id of the given eq-sort (§3.3)."""
+        sort = self.sorts.get(sort_name)
+        if sort is None or not sort.is_eq_sort:
+            raise EGraphError(f"make_id needs an eq-sort, got {sort_name!r}")
+        return Value(sort_name, self.uf.make_set())
+
+    def canonicalize(self, value: Value) -> Value:
+        """Replace an eq-sorted value's id with its canonical representative."""
+        sort = self.sorts.get(value.sort)
+        if sort is None or not sort.is_eq_sort:
+            return value
+        root = self.uf.find(value.data)
+        return value if root == value.data else Value(value.sort, root)
+
+    def union_values(self, a: Value, b: Value) -> Value:
+        """Merge two values: union e-class ids, require equality on primitives."""
+        if a.sort != b.sort:
+            raise EGraphError(f"cannot union values of different sorts: {a!r}, {b!r}")
+        sort = self.sorts.get(a.sort)
+        if sort is None or not sort.is_eq_sort:
+            if a != b:
+                raise EGraphError(f"cannot union distinct primitive values {a!r}, {b!r}")
+            return a
+        ra, rb = self.uf.find(a.data), self.uf.find(b.data)
+        if ra == rb:
+            return Value(a.sort, ra)
+        root = self.uf.union(ra, rb)
+        self.note_update()
+        return Value(a.sort, root)
+
+    # -- term evaluation ------------------------------------------------------
+
+    def eval_term(
+        self,
+        term: Term,
+        subst: Optional[Dict[str, Value]] = None,
+        *,
+        insert: bool = True,
+    ) -> Optional[Value]:
+        """Evaluate a term bottom-up against the database.
+
+        With ``insert=True`` (the paper's get-or-default, §3.2) an
+        application missing from its table is added with the function's
+        default output — a fresh e-class id for eq-sorted outputs.  With
+        ``insert=False`` the evaluation is a pure lookup and returns None as
+        soon as any sub-term is absent.
+        """
+        if isinstance(term, TermLit):
+            return term.value
+        if isinstance(term, TermVar):
+            if subst is None or term.name not in subst:
+                raise EGraphError(f"unbound variable {term.name!r} in term evaluation")
+            return self.canonicalize(subst[term.name])
+        if isinstance(term, TermApp):
+            args: List[Value] = []
+            for arg in term.args:
+                value = self.eval_term(arg, subst, insert=insert)
+                if value is None:
+                    return None
+                args.append(self.canonicalize(value))
+            decl = self.decls.get(term.func)
+            if decl is not None:
+                return self._apply_function(decl, tuple(args), insert)
+            result = self.registry.call(term.func, tuple(args))
+            if result is None:
+                if insert:
+                    raise EGraphError(
+                        f"primitive {term.func!r} failed on {tuple(args)!r}"
+                    )
+                return None
+            return result
+        raise EGraphError(f"cannot evaluate {term!r}")
+
+    def _apply_function(
+        self, decl: FunctionDecl, key: Key, insert: bool
+    ) -> Optional[Value]:
+        table = self.tables[decl.name]
+        existing = table.get(key)
+        if existing is not None:
+            return self.canonicalize(existing)
+        if not insert:
+            return None
+        value = self._default_value(decl, key)
+        table.put(key, self.canonicalize(value), self.timestamp)
+        self.note_update()
+        return value
+
+    def _default_value(self, decl: FunctionDecl, key: Key) -> Value:
+        default = decl.default
+        if default is None:
+            out = self.sorts[decl.out_sort]
+            if out.is_eq_sort:
+                return self.make_id(decl.out_sort)
+            if decl.out_sort == UNIT:
+                return UNIT_VALUE
+            raise EGraphError(
+                f"function {decl.name!r} has a primitive output and no default; "
+                f"use a `set` action or declare default="
+            )
+        if callable(default):
+            value = default(key)
+            if not isinstance(value, Value):
+                value = from_python(value)
+            return value
+        if isinstance(default, Value):
+            return default
+        return from_python(default)
+
+    def add(self, term: TermLike) -> Value:
+        """Insert a ground term (and all sub-terms); return its value."""
+        value = self.eval_term(as_term(term))
+        assert value is not None  # insert=True never returns None
+        return value
+
+    def lookup(self, term: TermLike) -> Optional[Value]:
+        """Pure lookup of a ground term; None if any sub-term is absent."""
+        self._ensure_canonical()
+        return self.eval_term(as_term(term), insert=False)
+
+    def union(self, lhs: TermLike, rhs: TermLike) -> Value:
+        """Assert that two ground terms denote the same e-class (§3.3)."""
+        return self.union_values(self.add(lhs), self.add(rhs))
+
+    def are_equal(self, lhs: TermLike, rhs: TermLike) -> bool:
+        """True iff both terms are present and denote equal (canonical) values."""
+        a, b = self.lookup(lhs), self.lookup(rhs)
+        if a is None or b is None:
+            return False
+        return self.canonicalize(a) == self.canonicalize(b)
+
+    # -- rules ----------------------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> str:
+        """Compile and register a rule; returns the rule's (unique) name."""
+        compiled = compile_rule(rule, self.is_table, default_name=f"rule#{len(self.rules)}")
+        if compiled.name in self.rules:
+            raise EGraphError(f"rule {compiled.name!r} already registered")
+        self._validate_symbols(compiled.query, f"rule {compiled.name!r}")
+        self._validate_actions(compiled.actions, f"rule {compiled.name!r}")
+        self.rules[compiled.name] = compiled
+        self.rulesets.setdefault(compiled.ruleset, []).append(compiled.name)
+        return compiled.name
+
+    def add_rules(self, *rules: Rule) -> List[str]:
+        """Register several rules; returns their names."""
+        return [self.add_rule(rule) for rule in rules]
+
+    def add_rewrite(
+        self,
+        lhs: TermLike,
+        rhs: TermLike,
+        *,
+        conditions: Sequence[Fact] = (),
+        name: Optional[str] = None,
+        ruleset: str = DEFAULT_RULESET,
+        bidirectional: bool = False,
+    ) -> List[str]:
+        """Register ``lhs => rhs`` (and the reverse when ``bidirectional``)."""
+        if bidirectional:
+            return self.add_rules(
+                *_birewrite(lhs, rhs, conditions=conditions, name=name, ruleset=ruleset)
+            )
+        return self.add_rules(
+            _rewrite(lhs, rhs, conditions=conditions, name=name, ruleset=ruleset)
+        )
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, limit: int = 1, *, ruleset: str = DEFAULT_RULESET) -> RunReport:
+        """Run up to ``limit`` scheduler iterations (§4.3); see RunReport."""
+        return self.scheduler.run(limit, ruleset)
+
+    def rebuild(self) -> int:
+        """Restore congruence closure (§4); returns the number of repair rounds."""
+        return _rebuild(self)
+
+    def _ensure_canonical(self) -> None:
+        if self.uf.has_dirty:
+            _rebuild(self)
+
+    # -- querying / checking --------------------------------------------------
+
+    def search(
+        self, query: Query, *, delta_atom: Optional[int] = None, since: int = 0
+    ) -> Iterator[Substitution]:
+        """Run a compiled conjunctive query with the configured join strategy."""
+        return self._search_fn(
+            self.tables, self.registry, query, delta_atom=delta_atom, since=since
+        )
+
+    def _validate_symbols(self, query: Query, context: str) -> None:
+        """Reject symbols that are neither declared functions nor primitives.
+
+        Flattening routes unknown applications to the primitive path, where
+        they would silently match nothing — a typo'd function name must be
+        an error instead.
+        """
+        for atom in query.prims:
+            if atom.op not in self.registry:
+                raise EGraphError(
+                    f"{context} uses unknown symbol {atom.op!r} "
+                    f"(neither a declared function nor a primitive)"
+                )
+
+    def _validate_actions(self, actions: Sequence[Action], context: str) -> None:
+        """Reject typo'd symbols in action terms at registration time.
+
+        Without this, an unknown application in an action would only fail
+        (as a misleading "primitive failed" error) the first time the rule
+        fires — or never, if the rule body never matches.
+        """
+        for action in actions:
+            terms: List[Term] = []
+            if isinstance(action, Let):
+                terms = [action.expr]
+            elif isinstance(action, Union):
+                terms = [action.lhs, action.rhs]
+            elif isinstance(action, Set):
+                self._require_table(action.call.func, context)
+                terms = list(action.call.args) + [action.value]
+            elif isinstance(action, Delete):
+                self._require_table(action.call.func, context)
+                terms = list(action.call.args)
+            elif isinstance(action, Expr):
+                terms = [action.expr]
+            for term in terms:
+                self._validate_term_symbols(term, context)
+
+    def _require_table(self, name: str, context: str) -> None:
+        if name not in self.decls:
+            raise EGraphError(f"{context} targets unknown function {name!r}")
+
+    def _validate_term_symbols(self, term: Term, context: str) -> None:
+        if isinstance(term, TermApp):
+            if term.func not in self.decls and term.func not in self.registry:
+                raise EGraphError(
+                    f"{context} uses unknown symbol {term.func!r} "
+                    f"(neither a declared function nor a primitive)"
+                )
+            for arg in term.args:
+                self._validate_term_symbols(arg, context)
+
+    def query(self, *facts: Fact) -> List[Substitution]:
+        """Match term-level facts against the database; return substitutions."""
+        self._ensure_canonical()
+        compiled = compile_facts(list(facts), self.is_table)
+        self._validate_symbols(compiled, "query")
+        return [dict(match) for match in self.search(compiled)]
+
+    def check(self, *facts: Fact) -> int:
+        """Require at least one match for ``facts`` (the ``check`` command).
+
+        Returns the number of matches; raises :class:`CheckError` on zero.
+        """
+        matches = self.query(*facts)
+        if not matches:
+            raise CheckError(f"check failed: no matches for {facts!r}")
+        return len(matches)
+
+    def check_equal(self, lhs: TermLike, rhs: TermLike) -> bool:
+        """Require that two ground terms denote the same e-class."""
+        if not self.are_equal(lhs, rhs):
+            raise CheckError(f"check failed: {as_term(lhs)} is not equal to {as_term(rhs)}")
+        return True
+
+    # -- extraction -----------------------------------------------------------
+
+    def extract(self, term: TermLike) -> Term:
+        """Return a minimum-cost term equivalent to ``term``."""
+        return self.extract_with_cost(term)[1]
+
+    def extract_with_cost(self, term: TermLike) -> Tuple[int, Term]:
+        """Extract the cheapest representative of ``term``'s e-class.
+
+        The cost of a candidate node ``f(c1, ..., cn)`` is ``f``'s declared
+        per-node cost plus the best costs of its eq-sorted children
+        (primitive arguments are free).  Costs are computed for every
+        e-class by a bottom-up fixpoint over the database, then the term is
+        reassembled top-down.
+        """
+        self._ensure_canonical()
+        value = self.eval_term(as_term(term))
+        assert value is not None
+        sort = self.sorts.get(value.sort)
+        if sort is None or not sort.is_eq_sort:
+            return 0, TermLit(value)
+        best = self._best_nodes()
+        return self._term_of(best, value, frozenset())
+
+    def _best_nodes(self) -> Dict[int, Tuple[int, str, Key]]:
+        """Per canonical e-class: the cheapest (cost, function, key) node."""
+        best: Dict[int, Tuple[int, str, Key]] = {}
+        eq_cols: Dict[str, List[int]] = {
+            name: [
+                i
+                for i, s in enumerate(decl.arg_sorts)
+                if self.sorts[s].is_eq_sort
+            ]
+            for name, decl in self.decls.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, table in self.tables.items():
+                decl = table.decl
+                if decl.unextractable or not self.sorts[decl.out_sort].is_eq_sort:
+                    continue
+                for key, row in table.data.items():
+                    cost = decl.cost
+                    known = True
+                    for col in eq_cols[name]:
+                        child = best.get(self.uf.find(key[col].data))
+                        if child is None:
+                            known = False
+                            break
+                        cost += child[0]
+                    if not known:
+                        continue
+                    class_id = self.uf.find(row.value.data)
+                    current = best.get(class_id)
+                    if current is None or cost < current[0]:
+                        best[class_id] = (cost, name, key)
+                        changed = True
+        return best
+
+    def _term_of(
+        self,
+        best: Dict[int, Tuple[int, str, Key]],
+        value: Value,
+        visiting: frozenset,
+    ) -> Tuple[int, Term]:
+        sort = self.sorts.get(value.sort)
+        if sort is None or not sort.is_eq_sort:
+            return 0, TermLit(value)
+        class_id = self.uf.find(value.data)
+        if class_id in visiting:
+            raise ExtractError(f"cycle while extracting e-class {class_id}")
+        node = best.get(class_id)
+        if node is None:
+            raise ExtractError(f"no extractable node for e-class {class_id}")
+        cost, func, key = node
+        visiting = visiting | {class_id}
+        children = tuple(self._term_of(best, child, visiting)[1] for child in key)
+        return cost, TermApp(func, children)
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """A snapshot of engine size: per-table row counts, classes, unions."""
+        return {
+            "timestamp": self.timestamp,
+            "updates": self._updates,
+            "n_unions": self.uf.n_unions,
+            "n_ids": len(self.uf),
+            "n_classes": self.uf.n_classes(),
+            "tables": {name: len(table) for name, table in self.tables.items()},
+            "rules": sorted(self.rules),
+        }
+
+    def table_rows(self, name: str) -> Iterable[Tuple[Key, Value]]:
+        """Convenience iterator over one function's (key, output) pairs."""
+        if name not in self.tables:
+            raise EGraphError(f"unknown function {name!r}")
+        for key, value, _ts in self.tables[name].rows():
+            yield key, value

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the egglog engine.
+
+Errors correspond to the failure modes the paper's language defines:
+merge-expression conflicts on functional dependencies (Section 3.2),
+explicit ``panic`` actions, failed ``check`` commands, and extraction from
+an e-class with no extractable representative.
+"""
+
+from __future__ import annotations
+
+
+class EGraphError(Exception):
+    """Base class for all engine errors."""
+
+
+class MergeError(EGraphError):
+    """A functional-dependency violation could not be repaired.
+
+    Raised when a function declared with ``merge="error"`` receives two
+    distinct outputs for the same (canonicalized) argument tuple, or when a
+    user merge function fails (Section 3.2, merge expressions).
+    """
+
+
+class EGraphPanic(EGraphError):
+    """An explicit ``panic`` action fired (Section 3.1, actions)."""
+
+
+class CheckError(EGraphError):
+    """A ``check`` command found no matches for its facts."""
+
+
+class ExtractError(EGraphError):
+    """Extraction could not find a representative term for an e-class."""

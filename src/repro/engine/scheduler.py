@@ -1,0 +1,132 @@
+"""The semi-naïve rule scheduler (Section 4.3).
+
+One engine iteration has three phases, mirroring Figure 9 of the paper:
+
+1. **Search** every rule's query against the current database.  A rule
+   remembers ``last_run`` — the timestamp watermark of its previous search —
+   and only wants matches that involve at least one row inserted or updated
+   since then.  That delta restriction is implemented by running the query
+   once per atom with that atom restricted to new rows (``delta_atom`` /
+   ``since`` in the search functions) and deduplicating the union of the
+   results; a match made entirely of old rows was already found in an
+   earlier iteration.
+2. **Apply** every match's actions (``repro.engine.actions``).  The global
+   timestamp is bumped first, so rows written in this phase are visible as
+   "new" to every rule's next search.
+3. **Rebuild** congruence closure (``repro.engine.rebuild``).
+
+Matches are collected for *all* rules before any action runs, so rules
+within an iteration see the same database snapshot.  The run saturates when
+an iteration changes nothing: no inserts, no output updates, no unions, no
+deletes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, List, Tuple
+
+from ..core.query import Substitution
+from ..core.schema import RunReport
+from .actions import run_actions
+from .errors import EGraphError
+from .rebuild import rebuild
+from .rule import DEFAULT_RULESET, CompiledRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .egraph import EGraph
+
+
+class Scheduler:
+    """Runs rulesets to saturation or an iteration limit over one e-graph."""
+
+    def __init__(self, egraph: "EGraph") -> None:
+        self.egraph = egraph
+
+    # -- searching ------------------------------------------------------------
+
+    def search_rule(self, rule: CompiledRule) -> List[Substitution]:
+        """All matches of ``rule`` that involve rows newer than its watermark.
+
+        On a rule's first run (``last_run == 0``) this is a plain full
+        search.  Afterwards it is the semi-naïve delta: the union over atoms
+        ``i`` of the query with atom ``i`` restricted to rows stamped at or
+        after ``last_run``, deduplicated (a match containing several new rows
+        is produced once per new atom).
+        """
+        egraph = self.egraph
+        query = rule.query
+        if not query.atoms:
+            # A rule with no table atoms can never produce new matches after
+            # its first firing; run it exactly once.
+            if rule.last_run > 0:
+                return []
+            return list(egraph.search(query))
+        if rule.last_run <= 0:
+            return list(egraph.search(query))
+        matches: List[Substitution] = []
+        seen = set()
+        for index in range(len(query.atoms)):
+            for match in egraph.search(query, delta_atom=index, since=rule.last_run):
+                key = tuple(sorted(match.items(), key=lambda item: item[0]))
+                if key not in seen:
+                    seen.add(key)
+                    matches.append(match)
+        return matches
+
+    # -- iterating ------------------------------------------------------------
+
+    def run_iteration(self, ruleset: str = DEFAULT_RULESET) -> RunReport:
+        """Run one search → apply → rebuild iteration of ``ruleset``."""
+        egraph = self.egraph
+        rule_names = egraph.rulesets.get(ruleset)
+        if rule_names is None:
+            raise EGraphError(f"unknown ruleset {ruleset!r}")
+        rules = [egraph.rules[name] for name in rule_names]
+        report = RunReport(iterations=1)
+        updates_before = egraph.updates
+
+        # Pending user unions would make the search see a non-canonical
+        # database; repair first (no-op when nothing is dirty).
+        start = time.perf_counter()
+        rebuild(egraph)
+        report.rebuild_time += time.perf_counter() - start
+
+        # Phase 1: search (all rules see the same snapshot).
+        searched: List[Tuple[CompiledRule, List[Substitution]]] = []
+        for rule in rules:
+            start = time.perf_counter()
+            matches = self.search_rule(rule)
+            report.search_time += time.perf_counter() - start
+            report.num_matches += len(matches)
+            report.per_rule_matches[rule.name] = len(matches)
+            searched.append((rule, matches))
+
+        # Phase 2: apply.  Bump the timestamp so writes from this iteration
+        # are the next iteration's delta.
+        egraph.timestamp += 1
+        start = time.perf_counter()
+        for rule, matches in searched:
+            for match in matches:
+                run_actions(egraph, rule.actions, match)
+            rule.last_run = egraph.timestamp
+        report.apply_time += time.perf_counter() - start
+
+        # Phase 3: rebuild congruence closure.
+        start = time.perf_counter()
+        rebuild(egraph)
+        report.rebuild_time += time.perf_counter() - start
+
+        report.updated = egraph.updates != updates_before
+        report.saturated = not report.updated
+        return report
+
+    def run(self, limit: int = 1, ruleset: str = DEFAULT_RULESET) -> RunReport:
+        """Run up to ``limit`` iterations, stopping early on saturation."""
+        total = RunReport()
+        for _ in range(limit):
+            iteration = self.run_iteration(ruleset)
+            total.merge_with(iteration)
+            if iteration.saturated:
+                break
+        return total

@@ -1,0 +1,6 @@
+"""Test suite for the egglog reproduction.
+
+Run from the repo root with ``python -m pytest`` (the ``pyproject.toml``
+pytest config puts ``src/`` on the import path) or with
+``PYTHONPATH=src python -m pytest -x -q``.
+"""

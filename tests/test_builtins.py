@@ -1,0 +1,108 @@
+"""Primitive registry: overload resolution and failure-as-None semantics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.builtins import default_registry
+from repro.core.values import (
+    BOOL,
+    I64,
+    RATIONAL,
+    Value,
+    boolean,
+    f64,
+    i64,
+    rational,
+    string,
+)
+
+REG = default_registry()
+
+
+def test_arithmetic_overloads_resolve_by_sort():
+    assert REG.call("+", (i64(2), i64(3))) == i64(5)
+    assert REG.call("+", (f64(1.5), f64(2.5))) == f64(4.0)
+    assert REG.call("+", (string("foo"), string("bar"))) == string("foobar")
+    assert REG.call("+", (rational(1, 2), rational(1, 3))) == rational(5, 6)
+    assert REG.call("min", (i64(4), i64(9))) == i64(4)
+    assert REG.call("max", (i64(4), i64(9))) == i64(9)
+
+
+def test_division_overloads_differ_per_sort():
+    assert REG.call("/", (i64(7), i64(2))) == i64(3)  # floor division on i64
+    assert REG.call("/", (f64(7.0), f64(2.0))) == f64(3.5)
+    assert REG.call("/", (rational(7), rational(2))) == rational(7, 2)
+
+
+def test_shifts_and_modulo():
+    assert REG.call("<<", (i64(3), i64(1))) == i64(6)
+    assert REG.call(">>", (i64(12), i64(2))) == i64(3)
+    assert REG.call("%", (i64(7), i64(3))) == i64(1)
+
+
+def test_failure_is_none_not_an_exception():
+    # Mixed sorts: no overload accepts them.
+    assert REG.call("+", (i64(1), f64(2.0))) is None
+    # Division by zero is a failure, not a crash.
+    assert REG.call("/", (i64(1), i64(0))) is None
+    assert REG.call("rational", (i64(1), i64(0))) is None
+    # Unknown primitive.
+    assert REG.call("no-such-prim", (i64(1),)) is None
+    # Wrong arity — including for the polymorphic comparisons.
+    assert REG.call("+", (i64(1),)) is None
+    assert REG.call("=", (i64(1), i64(2), i64(3))) is None
+    assert REG.call("!=", (i64(1),)) is None
+
+
+def test_sort_agnostic_overload_with_arity_mismatch_is_not_applicable():
+    reg = default_registry()
+    reg.register("pair?", lambda a, b: boolean(True), None, BOOL)  # any sorts
+    assert reg.call("pair?", (i64(1), i64(2))) == boolean(True)
+    # Too few / too many args: the overload is skipped, not crashed into.
+    assert reg.call("pair?", (i64(1),)) is None
+    assert reg.call("pair?", (i64(1), i64(2), i64(3))) is None
+
+
+def test_type_errors_inside_primitive_bodies_stay_loud():
+    reg = default_registry()
+
+    def buggy(a, b):
+        return boolean(a.data < "oops")  # int < str: a genuine bug
+
+    reg.register("buggy", buggy, None, BOOL)
+    with pytest.raises(TypeError):
+        reg.call("buggy", (i64(1), i64(2)))
+
+
+def test_polymorphic_equality_and_comparisons():
+    assert REG.call("=", (i64(3), i64(3))) == boolean(True)
+    assert REG.call("!=", (i64(3), i64(4))) == boolean(True)
+    assert REG.call("=", (string("a"), string("b"))) == boolean(False)
+    assert REG.call("<", (i64(1), i64(2))) == boolean(True)
+    assert REG.call(">=", (string("b"), string("a"))) == boolean(True)
+
+
+def test_booleans_and_conversions():
+    assert REG.call("and", (boolean(True), boolean(False))) == boolean(False)
+    assert REG.call("not", (boolean(False),)) == boolean(True)
+    assert REG.call("to-f64", (i64(3),)) == f64(3.0)
+    assert REG.call("to-rational", (i64(3),)) == Value(RATIONAL, Fraction(3))
+    assert REG.call("numer", (rational(3, 4),)) == i64(3)
+    assert REG.call("denom", (rational(3, 4),)) == i64(4)
+
+
+def test_set_primitives():
+    empty = REG.call("set-empty", ())
+    one = REG.call("set-insert", (empty, i64(1)))
+    two = REG.call("set-insert", (one, i64(2)))
+    assert REG.call("set-contains", (two, i64(1))) == boolean(True)
+    assert REG.call("set-length", (two,)) == i64(2)
+    assert REG.call("set-union", (one, two)) == two
+    assert REG.call("set-diff", (two, one)) == REG.call("set-singleton", (i64(2),))
+
+
+def test_result_sort_is_best_effort():
+    assert REG.result_sort("+", (I64, I64)) == I64
+    assert REG.result_sort("<", (I64, I64)) == BOOL
+    assert REG.result_sort("no-such-prim", (I64,)) is None

@@ -1,0 +1,311 @@
+"""End-to-end engine tests: fixpoints, rebuilding, merges, actions, extraction."""
+
+import pytest
+
+from repro.core.terms import App, L, V
+from repro.core.values import I64, STRING, i64
+from repro.engine import (
+    CheckError,
+    Delete,
+    EGraph,
+    EGraphError,
+    EGraphPanic,
+    Expr,
+    Let,
+    MergeError,
+    Panic,
+    Rule,
+    Set,
+    eq,
+    rewrite,
+)
+from repro.engine.actions import run_actions
+
+
+def path_engine(strategy="indexed"):
+    eg = EGraph(strategy=strategy)
+    eg.relation("edge", (I64, I64))
+    eg.function("path", (I64, I64), I64, merge="min")
+    eg.add_rule(
+        Rule(
+            name="base",
+            facts=[App("edge", V("x"), V("y"))],
+            actions=[Set(App("path", V("x"), V("y")), L(1))],
+        )
+    )
+    eg.add_rule(
+        Rule(
+            name="step",
+            facts=[eq(V("d"), App("path", V("x"), V("y"))), App("edge", V("y"), V("z"))],
+            actions=[Set(App("path", V("x"), V("z")), App("+", V("d"), L(1)))],
+        )
+    )
+    return eg
+
+
+@pytest.mark.parametrize("strategy", ["indexed", "generic"])
+def test_path_reaches_fixpoint_with_min_merge(strategy):
+    eg = path_engine(strategy)
+    for a, b in [(1, 2), (2, 3), (3, 4), (1, 3)]:
+        eg.add(App("edge", a, b))
+    report = eg.run(limit=50)
+    assert report.saturated
+    assert report.iterations < 50
+    # min merge: the 1->3 shortcut beats 1->2->3->4.
+    assert eg.lookup(App("path", 1, 4)) == i64(2)
+    assert eg.lookup(App("path", 1, 3)) == i64(1)
+    assert eg.lookup(App("path", 1, 5)) is None
+    # Re-running a saturated engine changes nothing.
+    again = eg.run(limit=5)
+    assert again.saturated and again.iterations == 1
+
+
+def test_strategies_compute_identical_path_tables():
+    results = []
+    for strategy in ("indexed", "generic"):
+        eg = path_engine(strategy)
+        for a, b in [(1, 2), (2, 3), (3, 4), (1, 3), (4, 1)]:
+            eg.add(App("edge", a, b))
+        eg.run(limit=50)
+        results.append(
+            sorted(
+                ((k[0].data, k[1].data), v.data) for k, v in eg.table_rows("path")
+            )
+        )
+    assert results[0] == results[1]
+
+
+def math_engine():
+    eg = EGraph()
+    eg.declare_sort("Math")
+    eg.constructor("Num", (I64,), "Math")
+    eg.constructor("Var", (STRING,), "Math")
+    eg.constructor("Mul", ("Math", "Math"), "Math", cost=4)
+    eg.constructor("Shl", ("Math", "Math"), "Math", cost=1)
+    eg.add_rules(
+        rewrite(App("Mul", V("x"), V("y")), App("Mul", V("y"), V("x")), name="comm"),
+        rewrite(
+            App("Mul", V("x"), App("Num", 2)),
+            App("Shl", V("x"), App("Num", 1)),
+            name="shl",
+        ),
+    )
+    return eg
+
+
+def test_rewrite_proves_equivalence_via_check():
+    eg = math_engine()
+    expr = App("Mul", App("Num", 2), App("Var", "a"))
+    target = App("Shl", App("Var", "a"), App("Num", 1))
+    eg.add(expr)
+    with pytest.raises(CheckError):
+        eg.check_equal(expr, target)  # not yet proven
+    report = eg.run(limit=10)
+    assert report.saturated
+    assert eg.check_equal(expr, target)
+    assert eg.are_equal(expr, App("Mul", App("Var", "a"), App("Num", 2)))
+
+
+def test_extraction_returns_the_cheaper_term():
+    eg = math_engine()
+    expr = App("Mul", App("Num", 2), App("Var", "a"))
+    eg.add(expr)
+    eg.run(limit=10)
+    cost, best = eg.extract_with_cost(expr)
+    assert best == App("Shl", App("Var", "a"), App("Num", 1))
+    assert cost == 3  # Shl + Var + Num at cost 1 each; the Mul form costs 6
+    # Extracting a primitive value is trivial.
+    assert eg.extract(L(5)) == L(5)
+
+
+def test_rebuild_restores_congruence():
+    eg = EGraph()
+    eg.declare_sort("S")
+    eg.constructor("A", (), "S")
+    eg.constructor("B", (), "S")
+    eg.constructor("f", ("S",), "S")
+    fa = eg.add(App("f", App("A")))
+    fb = eg.add(App("f", App("B")))
+    assert not eg.are_equal(App("f", App("A")), App("f", App("B")))
+    eg.union(App("A"), App("B"))
+    rounds = eg.rebuild()
+    assert rounds >= 1
+    # Congruence: a = b  ==>  f(a) = f(b); the two rows collapse into one.
+    assert eg.check_equal(App("f", App("A")), App("f", App("B")))
+    assert len(eg.tables["f"]) == 1
+    assert eg.canonicalize(fa) == eg.canonicalize(fb)
+    # Rebuilding again is a no-op.
+    assert eg.rebuild() == 0
+
+
+def test_rebuild_only_touches_dirty_rows():
+    eg = EGraph()
+    eg.declare_sort("S")
+    eg.constructor("A", (), "S")
+    eg.constructor("B", (), "S")
+    eg.constructor("C", (), "S")
+    eg.constructor("f", ("S",), "S")
+    eg.add(App("f", App("A")))
+    eg.add(App("f", App("B")))
+    untouched = eg.add(App("f", App("C")))
+    before = eg.tables["f"].get_row((eg.lookup(App("C")),))
+    eg.union(App("A"), App("B"))
+    eg.timestamp = 7  # repairs must stamp with the current timestamp...
+    eg.rebuild()
+    # ...but the row in the untouched class keeps its original one.
+    after = eg.tables["f"].get_row((eg.canonicalize(eg.lookup(App("C"))),))
+    assert after is before and after.timestamp == 0
+    assert eg.canonicalize(untouched) == eg.canonicalize(eg.lookup(App("f", App("C"))))
+    assert len(eg.tables["f"]) == 2  # f(A)/f(B) merged, f(C) intact
+
+
+def test_wrong_arity_primitive_fact_fails_match_not_crash():
+    eg = EGraph()
+    eg.relation("p", (I64,))
+    eg.add(App("p", 1))
+    eg.add_rule(
+        Rule(
+            name="bad-arity",
+            facts=[App("p", V("x")), App("!=", V("x"), L(1), L(2))],
+            actions=[Panic("should never fire")],
+        )
+    )
+    report = eg.run(limit=3)  # must not raise TypeError
+    assert report.per_rule_matches["bad-arity"] == 0
+
+
+def test_rebuild_cascades_through_nested_terms():
+    eg = EGraph()
+    eg.declare_sort("S")
+    eg.constructor("A", (), "S")
+    eg.constructor("B", (), "S")
+    eg.constructor("f", ("S",), "S")
+    eg.add(App("f", App("f", App("A"))))
+    eg.add(App("f", App("f", App("B"))))
+    eg.union(App("A"), App("B"))
+    eg.rebuild()
+    assert eg.check_equal(App("f", App("f", App("A"))), App("f", App("f", App("B"))))
+
+
+def test_merge_error_raises_on_conflict():
+    eg = EGraph()
+    eg.function("g", (I64,), I64, merge="error")
+    run_actions(eg, [Set(App("g", L(1)), L(10))], {})
+    # Same value: no conflict.
+    run_actions(eg, [Set(App("g", L(1)), L(10))], {})
+    with pytest.raises(MergeError):
+        run_actions(eg, [Set(App("g", L(1)), L(20))], {})
+
+
+def test_min_merge_keeps_smaller_value_and_bumps_timestamp():
+    eg = EGraph()
+    eg.function("g", (I64,), I64, merge="min")
+    run_actions(eg, [Set(App("g", L(1)), L(10))], {})
+    eg.timestamp = 5
+    run_actions(eg, [Set(App("g", L(1)), L(3))], {})
+    row = eg.tables["g"].get_row((i64(1),))
+    assert row.value == i64(3)
+    assert row.timestamp == 5  # updated rows look new to semi-naïve search
+    run_actions(eg, [Set(App("g", L(1)), L(7))], {})
+    assert eg.tables["g"].get((i64(1),)) == i64(3)
+
+
+def test_let_delete_and_panic_actions():
+    eg = EGraph()
+    eg.function("g", (I64,), I64, merge="min")
+    subst = run_actions(
+        eg,
+        [Let("v", App("+", L(2), L(3))), Set(App("g", L(1)), V("v"))],
+        {},
+    )
+    assert subst["v"] == i64(5)
+    assert eg.lookup(App("g", 1)) == i64(5)
+    run_actions(eg, [Delete(App("g", L(1)))], {})
+    assert eg.lookup(App("g", 1)) is None
+    with pytest.raises(EGraphPanic, match="impossible"):
+        run_actions(eg, [Panic("impossible state")], {})
+
+
+def test_rulesets_run_independently():
+    eg = EGraph()
+    eg.relation("p", (I64,))
+    eg.relation("q", (I64,))
+    eg.relation("r", (I64,))
+    eg.add_rule(
+        Rule(
+            name="p-to-q",
+            facts=[App("p", V("x"))],
+            actions=[Expr(App("q", V("x")))],
+            ruleset="copy-q",
+        )
+    )
+    eg.add_rule(
+        Rule(
+            name="p-to-r",
+            facts=[App("p", V("x"))],
+            actions=[Expr(App("r", V("x")))],
+            ruleset="copy-r",
+        )
+    )
+    eg.add(App("p", 1))
+    eg.run(limit=5, ruleset="copy-q")
+    assert eg.lookup(App("q", 1)) is not None
+    assert eg.lookup(App("r", 1)) is None  # the other ruleset never ran
+    eg.run(limit=5, ruleset="copy-r")
+    assert eg.lookup(App("r", 1)) is not None
+    with pytest.raises(EGraphError):
+        eg.run(ruleset="no-such-ruleset")
+
+
+def test_check_and_query_on_facts():
+    eg = path_engine()
+    for a, b in [(1, 2), (2, 3)]:
+        eg.add(App("edge", a, b))
+    eg.run(limit=10)
+    assert eg.check(App("edge", L(1), V("y"))) == 1
+    matches = eg.query(eq(V("d"), App("path", V("x"), V("y"))))
+    assert {(m["x"].data, m["y"].data, m["d"].data) for m in matches} == {
+        (1, 2, 1),
+        (2, 3, 1),
+        (1, 3, 2),
+    }
+    with pytest.raises(CheckError):
+        eg.check(App("edge", L(9), V("y")))
+    # A typo'd function name is an error, not an empty result.
+    with pytest.raises(EGraphError, match="unknown symbol"):
+        eg.check(App("edgez", L(1), V("y")))
+    with pytest.raises(EGraphError, match="unknown symbol"):
+        eg.query(App("edgez", V("x"), V("y")))
+
+
+def test_typoed_symbols_in_actions_rejected_at_registration():
+    eg = EGraph()
+    eg.relation("edge", (I64, I64))
+    with pytest.raises(EGraphError, match="unknown symbol"):
+        eg.add_rule(
+            Rule(
+                name="typo-expr",
+                facts=[App("edge", V("x"), V("y"))],
+                actions=[Expr(App("egde", V("y"), V("x")))],
+            )
+        )
+    with pytest.raises(EGraphError, match="targets unknown function"):
+        eg.add_rule(
+            Rule(
+                name="typo-set",
+                facts=[App("edge", V("x"), V("y"))],
+                actions=[Set(App("pathz", V("x"), V("y")), L(1))],
+            )
+        )
+    assert eg.rules == {}  # nothing half-registered
+
+
+def test_saturation_report_statistics():
+    eg = path_engine()
+    eg.add(App("edge", 1, 2))
+    report = eg.run(limit=10)
+    assert report.saturated
+    assert report.num_matches >= 1
+    assert "base" in report.per_rule_matches
+    assert report.total_time >= 0.0
+    assert "saturated" in report.summary()

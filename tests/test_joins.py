@@ -1,0 +1,105 @@
+"""Both join strategies must agree — the triangle query and delta searches."""
+
+import pytest
+
+from repro.core.builtins import default_registry
+from repro.core.database import Table
+from repro.core.genericjoin import search_generic
+from repro.core.query import PrimAtom, Query, QVar, TableAtom, search_indexed
+from repro.core.schema import FunctionDecl
+from repro.core.values import UNIT, UNIT_VALUE, i64
+
+STRATEGIES = [search_indexed, search_generic]
+
+
+def edge_table(edges, timestamps=None):
+    table = Table(FunctionDecl("edge", ("i64", "i64"), UNIT))
+    for index, (a, b) in enumerate(edges):
+        ts = timestamps[index] if timestamps else 0
+        table.put((i64(a), i64(b)), UNIT_VALUE, ts)
+    return table
+
+
+def triangle_query():
+    x, y, z = QVar("x"), QVar("y"), QVar("z")
+    return Query(
+        atoms=[
+            TableAtom("edge", (x, y), QVar("o1")),
+            TableAtom("edge", (y, z), QVar("o2")),
+            TableAtom("edge", (z, x), QVar("o3")),
+        ]
+    )
+
+
+EDGES = [(1, 2), (2, 3), (3, 1), (2, 4), (4, 2), (4, 5), (5, 6), (6, 4), (1, 1)]
+
+
+def solutions(matches):
+    return sorted(
+        (m["x"].data, m["y"].data, m["z"].data) for m in matches
+    )
+
+
+@pytest.mark.parametrize("search", STRATEGIES)
+def test_triangle_query_finds_all_cycles(search):
+    tables = {"edge": edge_table(EDGES)}
+    result = solutions(search(tables, default_registry(), triangle_query()))
+    # 1-2-3 rotations, 2-4 two-cycles are not triangles unless closed, the
+    # 4-5-6 cycle's rotations, and the 1-1 self-loop triangle.
+    assert (1, 2, 3) in result
+    assert (2, 3, 1) in result and (3, 1, 2) in result
+    assert (4, 5, 6) in result and (5, 6, 4) in result and (6, 4, 5) in result
+    assert (1, 1, 1) in result
+    assert all((a, b) in EDGES and (b, c) in EDGES and (c, a) in EDGES for a, b, c in result)
+
+
+def test_strategies_agree_exactly():
+    tables = {"edge": edge_table(EDGES)}
+    indexed = solutions(search_indexed(tables, default_registry(), triangle_query()))
+    generic = solutions(search_generic(tables, default_registry(), triangle_query()))
+    assert indexed == generic
+    assert len(indexed) == len(set(indexed))  # no duplicate matches
+
+
+@pytest.mark.parametrize("search", STRATEGIES)
+def test_delta_restriction_only_matches_new_rows(search):
+    # Two triangles; only the second was inserted at timestamp 1.
+    edges = [(1, 2), (2, 3), (3, 1), (7, 8), (8, 9), (9, 7)]
+    stamps = [0, 0, 0, 1, 1, 1]
+    tables = {"edge": edge_table(edges, stamps)}
+    new_only = solutions(
+        search(tables, default_registry(), triangle_query(), delta_atom=0, since=1)
+    )
+    assert all(a in (7, 8, 9) for a, _, _ in new_only)
+    assert (7, 8, 9) in new_only
+    everything = solutions(
+        search(tables, default_registry(), triangle_query(), delta_atom=0, since=0)
+    )
+    assert (1, 2, 3) in everything and (7, 8, 9) in everything
+
+
+@pytest.mark.parametrize("search", STRATEGIES)
+def test_primitive_guards_filter_matches(search):
+    tables = {"edge": edge_table(EDGES)}
+    query = triangle_query()
+    query.prims.append(PrimAtom("<", (QVar("x"), QVar("y")), None))
+    result = solutions(search(tables, default_registry(), query))
+    assert result and all(x < y for x, y, _ in result)
+
+
+@pytest.mark.parametrize("search", STRATEGIES)
+def test_primitive_binders_extend_bindings(search):
+    tables = {"edge": edge_table([(1, 2)])}
+    query = Query(
+        atoms=[TableAtom("edge", (QVar("x"), QVar("y")), QVar("_o"))],
+        prims=[PrimAtom("+", (QVar("x"), QVar("y")), QVar("s"))],
+    )
+    matches = list(search(tables, default_registry(), query))
+    assert len(matches) == 1
+    assert matches[0]["s"] == i64(3)
+
+
+@pytest.mark.parametrize("search", STRATEGIES)
+def test_missing_table_means_no_matches(search):
+    query = triangle_query()
+    assert list(search({}, default_registry(), query)) == []

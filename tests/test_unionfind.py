@@ -1,0 +1,82 @@
+"""Union-find: canonicalization, path compression, dirty tracking."""
+
+import pytest
+
+from repro.core.unionfind import UnionFind
+
+
+def test_fresh_sets_are_distinct_singletons():
+    uf = UnionFind()
+    a, b, c = uf.make_sets(3)
+    assert len(uf) == 3
+    assert len({a, b, c}) == 3
+    assert uf.n_classes() == 3
+    for ident in (a, b, c):
+        assert uf.find(ident) == ident
+        assert uf.is_canonical(ident)
+
+
+def test_union_merges_and_find_agrees():
+    uf = UnionFind()
+    a, b, c = uf.make_sets(3)
+    root = uf.union(a, b)
+    assert root in (a, b)
+    assert uf.same(a, b)
+    assert not uf.same(a, c)
+    assert uf.n_classes() == 2
+    assert uf.n_unions == 1
+    # Union of already-joined ids is a no-op.
+    assert uf.union(a, b) == root
+    assert uf.n_unions == 1
+
+
+def test_union_by_size_keeps_larger_representative():
+    uf = UnionFind()
+    a, b, c, d = uf.make_sets(4)
+    big = uf.union(a, b)  # class of size 2
+    root = uf.union(c, big)  # size-1 class joins size-2 class
+    assert root == big
+    assert uf.find(c) == big
+    assert uf.find(d) == d
+
+
+def test_path_compression_flattens_chains():
+    uf = UnionFind()
+    ids = uf.make_sets(8)
+    for left, right in zip(ids, ids[1:]):
+        uf.union(left, right)
+    root = uf.find(ids[0])
+    # After find() every id on the path points (near-)directly at the root.
+    for ident in ids:
+        uf.find(ident)
+        assert uf._parent[ident] == root
+    assert uf.n_classes() == 1
+
+
+def test_dirty_set_records_displaced_representatives():
+    uf = UnionFind()
+    a, b, c = uf.make_sets(3)
+    assert not uf.has_dirty
+    root = uf.union(a, b)
+    loser = b if root == a else a
+    assert uf.has_dirty
+    assert uf.take_dirty() == {loser}
+    # take_dirty clears.
+    assert not uf.has_dirty
+    assert uf.take_dirty() == set()
+    # A redundant union does not dirty anything.
+    uf.union(a, b)
+    assert not uf.has_dirty
+    uf.union(root, c)
+    assert uf.has_dirty
+
+
+def test_union_all_and_class_members():
+    uf = UnionFind()
+    ids = uf.make_sets(5)
+    root = uf.union_all(ids[:4])
+    assert uf.n_classes() == 2
+    assert sorted(uf.class_members(root)) == sorted(ids[:4])
+    assert uf.class_members(ids[4]) == [ids[4]]
+    with pytest.raises(ValueError):
+        uf.union_all([])
