@@ -5,11 +5,14 @@ Zhang et al., PACMPL 7(PLDI), 2023) unifies Datalog and equality saturation
 in one fixpoint engine.  ``repro.core`` holds the substrate (union-find,
 functional database, query engines, primitives, terms); ``repro.engine``
 holds the engine itself (rules, actions, rebuilding, the semi-naïve
-scheduler, and the ``EGraph`` facade).
+scheduler, and the ``EGraph`` facade); ``repro.frontend`` implements the
+paper's textual .egg language on top (``python -m repro program.egg``).
 """
 
 from .engine import EGraph
+from .errors import ReproError
+from .frontend import Evaluator, run_program
 
 __version__ = "0.1.0"
 
-__all__ = ["EGraph", "__version__"]
+__all__ = ["EGraph", "Evaluator", "ReproError", "run_program", "__version__"]

@@ -140,6 +140,29 @@ class Table:
                 out.append(key)
         return out
 
+    # -- snapshots (push/pop support) ----------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture the table's rows and write log for a later :meth:`restore`.
+
+        Rows are shared, not copied: the engine never mutates a ``Row`` in
+        place (``put`` always stores a fresh one), so structural sharing is
+        safe and keeps ``push`` cheap.
+        """
+        return (dict(self.data), list(self._log_ts), list(self._log_keys), self._log_sorted)
+
+    def restore(self, state: tuple) -> None:
+        """Reinstall a state captured by :meth:`snapshot`."""
+        data, log_ts, log_keys, log_sorted = state
+        self.data = data
+        self._log_ts = log_ts
+        self._log_keys = log_keys
+        self._log_sorted = log_sorted
+        # Cached indexes describe the abandoned state; invalidate them all.
+        self._indexes.clear()
+        self._index_versions.clear()
+        self._version += 1
+
     # -- indexes --------------------------------------------------------------
 
     def index(self, columns: Tuple[int, ...]) -> Dict[Tuple[Value, ...], List[Key]]:

@@ -120,6 +120,24 @@ class UnionFind:
         self._dirty = set()
         return dirty
 
+    # -- snapshots (push/pop support) ----------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture the full union-find state for a later :meth:`restore`."""
+        return (list(self._parent), list(self._size), set(self._dirty), self._n_unions)
+
+    def restore(self, state: tuple) -> None:
+        """Reinstall a state captured by :meth:`snapshot`.
+
+        Ids allocated after the snapshot simply cease to exist; callers must
+        not use values that leak out of the snapshotted scope.
+        """
+        parent, size, dirty, n_unions = state
+        self._parent = parent
+        self._size = size
+        self._dirty = dirty
+        self._n_unions = n_unions
+
     def class_members(self, ident: int) -> List[int]:
         """Return all ids currently in the same class as ``ident``.
 

@@ -171,3 +171,56 @@ def from_python(obj: Any) -> Value:
 def to_python(value: Value) -> Any:
     """Unwrap a primitive Value back into its Python payload."""
     return value.data
+
+
+# ---------------------------------------------------------------------------
+# Literal parsing / coercion per sort (used by the text frontend)
+# ---------------------------------------------------------------------------
+
+# Widening conversions the language applies to literals: an integer literal
+# may be written where an f64 or Rational is expected (the paper's examples
+# write ``(f 1)`` for f64-sorted arguments).  Narrowing is never implicit.
+_LITERAL_COERCIONS = {
+    (I64, F64): lambda data: f64(float(data)),
+    (I64, RATIONAL): lambda data: rational_from_fraction(Fraction(data)),
+}
+
+
+def coerce_literal(value: Value, sort_name: str) -> "Value | None":
+    """Adapt a literal value to ``sort_name``; None if no sound coercion.
+
+    An exact sort match is returned unchanged; otherwise only the widening
+    coercions in :data:`_LITERAL_COERCIONS` apply.  Eq-sorted values never
+    coerce (their ids are meaningless under any other sort).
+    """
+    if value.sort == sort_name:
+        return value
+    convert = _LITERAL_COERCIONS.get((value.sort, sort_name))
+    if convert is None:
+        return None
+    return convert(value.data)
+
+
+def parse_literal(sort_name: str, text: str) -> Value:
+    """Parse the text of a literal under an expected sort.
+
+    A library utility for embedders that receive sort-annotated text
+    (config values, tool arguments) and need a :class:`Value`.  The .egg
+    reader does *not* use this: it types literals by lexical shape and
+    relies on :func:`coerce_literal` at use sites.
+    """
+    if sort_name == I64:
+        return i64(int(text, 0))
+    if sort_name == F64:
+        return f64(float(text))
+    if sort_name == BOOL:
+        if text in ("true", "false"):
+            return boolean(text == "true")
+        raise ValueError(f"bool literal must be true/false, got {text!r}")
+    if sort_name == STRING:
+        return string(text)
+    if sort_name == RATIONAL:
+        return rational_from_fraction(Fraction(text))
+    if sort_name == UNIT:
+        return UNIT_VALUE
+    raise ValueError(f"sort {sort_name!r} has no literal syntax")

@@ -83,6 +83,7 @@ class EGraph:
         self.timestamp = 0
         self._updates = 0
         self.scheduler = Scheduler(self)
+        self._snapshots: List[dict] = []
 
     # -- change tracking ------------------------------------------------------
 
@@ -369,6 +370,63 @@ class EGraph:
     def _ensure_canonical(self) -> None:
         if self.uf.has_dirty:
             _rebuild(self)
+
+    # -- push / pop -----------------------------------------------------------
+
+    def push(self) -> int:
+        """Save the full engine state on a stack (the ``push`` command, §3.1).
+
+        Everything observable is captured: the union-find, every table's
+        rows, declarations, rules and their semi-naïve watermarks, the
+        timestamp, and the update counter.  Returns the new stack depth.
+        """
+        self._snapshots.append(
+            {
+                "uf": self.uf.snapshot(),
+                "sorts": dict(self.sorts),
+                "decls": dict(self.decls),
+                "tables": {name: table.snapshot() for name, table in self.tables.items()},
+                "rules": dict(self.rules),
+                "watermarks": {name: rule.last_run for name, rule in self.rules.items()},
+                "rulesets": {name: list(rules) for name, rules in self.rulesets.items()},
+                "timestamp": self.timestamp,
+                "updates": self._updates,
+            }
+        )
+        return len(self._snapshots)
+
+    def pop(self, count: int = 1) -> int:
+        """Restore the most recent :meth:`push` state(s); returns stack depth.
+
+        Declarations, rules, rows, and unions made since the matching push
+        all disappear.  E-class ids allocated since then become invalid.
+        """
+        if count < 1:
+            raise EGraphError(f"pop count must be positive, got {count}")
+        if count > len(self._snapshots):
+            raise EGraphError(
+                f"pop {count} without matching push (stack depth {len(self._snapshots)})"
+            )
+        for _ in range(count):
+            snap = self._snapshots.pop()
+            self.uf.restore(snap["uf"])
+            self.sorts = snap["sorts"]
+            self.decls = snap["decls"]
+            # Tables declared after the push are dropped; surviving Table
+            # objects are restored in place (rules hold no table refs, but
+            # this keeps any external handles coherent).
+            self.tables = {
+                name: self.tables[name] for name in snap["tables"] if name in self.tables
+            }
+            for name, state in snap["tables"].items():
+                self.tables[name].restore(state)
+            self.rules = snap["rules"]
+            for name, last_run in snap["watermarks"].items():
+                self.rules[name].last_run = last_run
+            self.rulesets = snap["rulesets"]
+            self.timestamp = snap["timestamp"]
+            self._updates = snap["updates"]
+        return len(self._snapshots)
 
     # -- querying / checking --------------------------------------------------
 

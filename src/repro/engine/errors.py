@@ -8,8 +8,10 @@ an e-class with no extractable representative.
 
 from __future__ import annotations
 
+from ..errors import ReproError
 
-class EGraphError(Exception):
+
+class EGraphError(ReproError):
     """Base class for all engine errors."""
 
 

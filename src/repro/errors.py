@@ -1,0 +1,14 @@
+"""The root of the repro exception hierarchy.
+
+Every error this package raises deliberately — engine failures
+(:mod:`repro.engine.errors`) and text-language failures
+(:mod:`repro.frontend.errors`) — derives from :class:`ReproError`, so
+embedders and the CLI can catch one type.  Genuine bugs still surface as
+ordinary Python exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""

@@ -1,0 +1,76 @@
+"""The ``python -m repro`` command line: run .egg programs.
+
+Each file runs on a fresh engine, in argument order; output lines
+(``run``/``check``/``extract``/``query-extract`` results) stream to
+stdout.  The first failing file stops the run: its error is printed as
+``file.egg:line:col: message`` on stderr and the exit status is 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..engine.egraph import SEARCH_STRATEGIES
+from ..errors import ReproError
+from .evaluator import Evaluator
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run egglog (.egg) programs on the repro engine.",
+    )
+    parser.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE",
+        help=".egg program files to run in order ('-' reads stdin)",
+    )
+    parser.add_argument(
+        "-s",
+        "--strategy",
+        choices=sorted(SEARCH_STRATEGIES),
+        default="indexed",
+        help="join strategy for rule search (default: indexed)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine statistics after each file",
+    )
+    return parser
+
+
+def _read(path: str) -> "tuple[str, str]":
+    if path == "-":
+        return sys.stdin.read(), "<stdin>"
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read(), path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    for path in args.files:
+        try:
+            text, name = _read(path)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        evaluator = Evaluator(strategy=args.strategy, sink=print)
+        try:
+            evaluator.run_program(text, name)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if args.stats:
+            stats = evaluator.egraph.stats()
+            tables = ", ".join(
+                f"{table}={size}" for table, size in sorted(stats["tables"].items())
+            )
+            print(
+                f"stats: {name}: classes={stats['n_classes']} "
+                f"unions={stats['n_unions']} tables: {tables or '(none)'}"
+            )
+    return 0

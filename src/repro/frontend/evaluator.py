@@ -1,0 +1,524 @@
+"""Evaluator: lowers parsed .egg commands onto the :class:`EGraph` engine.
+
+The evaluator owns the pieces the parser cannot know: the engine's
+declarations.  It lowers raw s-expressions into engine terms (checking
+arities, sorts, and symbol bindings with source locations), maintains the
+global ``let`` environment, mirrors the engine's ``push``/``pop`` stack for
+that environment, and captures the deterministic output lines that
+``run``/``check``/``extract``/``query-extract`` produce — the text the
+golden-file tests diff.
+
+Binding rules, following the paper's language:
+
+* In *pattern* positions (rule facts, ``check`` facts, rewrite sides, rule
+  actions) a bare symbol is a variable — unless it names a global ``let``
+  binding, which is inlined as a literal at lowering time.
+* In *ground* positions (top-level ``let``/``union``/``set``/``delete``/
+  ``extract`` and ground facts) a bare symbol must name a global binding.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.terms import Term, TermApp, TermLit, TermVar
+from ..core.values import Value, coerce_literal
+from ..engine import EGraph, Rule
+from ..engine.actions import Action, Delete, Expr, Let, Panic, Set, Union, run_actions
+from ..engine.errors import CheckError, EGraphError
+from ..engine.rule import EqFact, Fact
+from .errors import (
+    ArityError,
+    EvalError,
+    Loc,
+    SortError,
+    UnboundSymbolError,
+    UnknownCommandError,
+)
+from .parser import (
+    CheckCmd,
+    Command,
+    DatatypeCmd,
+    DeleteCmd,
+    ExtractCmd,
+    FunctionCmd,
+    LetCmd,
+    PopCmd,
+    PushCmd,
+    QueryExtractCmd,
+    RelationCmd,
+    RewriteCmd,
+    RuleCmd,
+    RunCmd,
+    SetCmd,
+    SortCmd,
+    TopAction,
+    UnionCmd,
+    parse_program,
+)
+from .printer import format_fact, format_term
+from .sexp import Literal, Sexp, SList, Symbol
+
+
+class Evaluator:
+    """Executes parsed .egg commands against one engine instance."""
+
+    def __init__(
+        self,
+        egraph: Optional[EGraph] = None,
+        *,
+        strategy: str = "indexed",
+        sink: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.egraph = egraph if egraph is not None else EGraph(strategy=strategy)
+        self.globals: Dict[str, Value] = {}
+        self._globals_stack: List[Dict[str, Value]] = []
+        self._sink = sink
+        self.lines: List[str] = []
+        self.filename: Optional[str] = None
+
+    # -- entry points ---------------------------------------------------------
+
+    def run_program(self, text: str, filename: Optional[str] = None) -> List[str]:
+        """Parse and execute a whole program; returns the lines *it* printed.
+
+        ``self.lines`` keeps accumulating across calls (the full session
+        transcript); the return value covers only this call.
+        """
+        previous = self.filename
+        self.filename = filename
+        start = len(self.lines)
+        try:
+            for command in parse_program(text, filename):
+                self.execute(command)
+        finally:
+            self.filename = previous
+        return self.lines[start:]
+
+    def execute(self, command: Command) -> None:
+        """Execute one command, translating engine errors to located ones."""
+        handler = self._HANDLERS.get(type(command))
+        if handler is None:  # pragma: no cover - parser emits only known commands
+            raise EvalError(f"no handler for {command!r}", command.loc, self.filename)
+        try:
+            handler(self, command)
+        except EGraphError as error:
+            raise EvalError(str(error), command.loc, self.filename) from error
+
+    def emit(self, line: str) -> None:
+        self.lines.append(line)
+        if self._sink is not None:
+            self._sink(line)
+
+    # -- lowering: s-expressions to terms -------------------------------------
+
+    def _lower_expr(self, sexp: Sexp, pattern: bool) -> Term:
+        if isinstance(sexp, Literal):
+            return TermLit(sexp.value)
+        if isinstance(sexp, Symbol):
+            value = self.globals.get(sexp.name)
+            if value is not None:
+                return TermLit(self.egraph.canonicalize(value))
+            if pattern:
+                return TermVar(sexp.name)
+            raise UnboundSymbolError(
+                f"unbound symbol {sexp.name!r} (not a global let binding)",
+                sexp.loc,
+                self.filename,
+            )
+        if isinstance(sexp, SList):
+            return self._lower_call(sexp, pattern)
+        raise EvalError(f"cannot evaluate {sexp}", sexp.loc, self.filename)
+
+    def _lower_call(self, sexp: SList, pattern: bool) -> TermApp:
+        if not sexp.items or not isinstance(sexp.items[0], Symbol):
+            raise EvalError(
+                f"expected a function application, got {sexp}", sexp.loc, self.filename
+            )
+        head = sexp.items[0]
+        args = tuple(self._lower_expr(item, pattern) for item in sexp.items[1:])
+        decl = self.egraph.decls.get(head.name)
+        if decl is not None:
+            if len(args) != decl.arity:
+                raise ArityError(
+                    f"{head.name!r} expects {decl.arity} argument(s), got {len(args)}",
+                    sexp.loc,
+                    self.filename,
+                )
+            args = tuple(
+                self._coerce(arg, sort, sexp.items[1 + index])
+                for index, (arg, sort) in enumerate(zip(args, decl.arg_sorts))
+            )
+            return TermApp(head.name, args)
+        if head.name in self.egraph.registry:
+            return TermApp(head.name, args)
+        raise UnboundSymbolError(
+            f"unknown function or primitive {head.name!r}", head.loc, self.filename
+        )
+
+    def _coerce(self, term: Term, sort_name: str, origin: Sexp) -> Term:
+        """Adapt a literal argument to the declared sort; reject mismatches."""
+        if not isinstance(term, TermLit):
+            return term  # variables and applications are checked by the engine
+        coerced = coerce_literal(term.value, sort_name)
+        if coerced is None:
+            raise SortError(
+                f"expected a {sort_name} here, got a {term.value.sort}",
+                origin.loc,
+                self.filename,
+            )
+        return TermLit(coerced)
+
+    def _lower_fact(self, sexp: Sexp) -> Fact:
+        if (
+            isinstance(sexp, SList)
+            and len(sexp.items) == 3
+            and isinstance(sexp.items[0], Symbol)
+            and sexp.items[0].name == "="
+        ):
+            return EqFact(
+                self._lower_expr(sexp.items[1], pattern=True),
+                self._lower_expr(sexp.items[2], pattern=True),
+            )
+        term = self._lower_expr(sexp, pattern=True)
+        if not isinstance(term, TermApp):
+            raise EvalError(
+                f"a fact must be an application or (= a b), got {sexp}",
+                sexp.loc,
+                self.filename,
+            )
+        return term
+
+    def _lower_action(self, sexp: Sexp, pattern: bool) -> Action:
+        if isinstance(sexp, SList) and sexp.items and isinstance(sexp.items[0], Symbol):
+            head = sexp.items[0].name
+            items = sexp.items
+            if head == "let":
+                self._need(sexp, 3, "(let name expr)")
+                name = self._need_symbol(items[1], "a name")
+                return Let(name, self._lower_expr(items[2], pattern))
+            if head == "union":
+                self._need(sexp, 3, "(union a b)")
+                return Union(
+                    self._lower_expr(items[1], pattern),
+                    self._lower_expr(items[2], pattern),
+                )
+            if head == "set":
+                self._need(sexp, 3, "(set (f args) value)")
+                target = self._lower_target(items[1], pattern)
+                value = self._lower_expr(items[2], pattern)
+                # Output position gets the same literal widening as arguments.
+                out_sort = self.egraph.decls[target.func].out_sort
+                return Set(target, self._coerce(value, out_sort, items[2]))
+            if head == "delete":
+                self._need(sexp, 2, "(delete (f args))")
+                return Delete(self._lower_target(items[1], pattern))
+            if head == "panic":
+                self._need(sexp, 2, '(panic "message")')
+                if not isinstance(items[1], Literal) or items[1].value.sort != "String":
+                    raise EvalError(
+                        "panic expects a string message", items[1].loc, self.filename
+                    )
+                return Panic(str(items[1].value.data))
+        term = self._lower_expr(sexp, pattern)
+        if not isinstance(term, TermApp):
+            raise EvalError(
+                f"an action must be let/union/set/delete/panic or an application, "
+                f"got {sexp}",
+                sexp.loc,
+                self.filename,
+            )
+        return Expr(term)
+
+    def _lower_target(self, sexp: Sexp, pattern: bool) -> TermApp:
+        """Lower the ``(f args...)`` target of a set/delete; must be a table."""
+        if not isinstance(sexp, SList):
+            raise EvalError(
+                f"expected a function call like (f x ...), got {sexp}",
+                sexp.loc,
+                self.filename,
+            )
+        call = self._lower_call(sexp, pattern)
+        if call.func not in self.egraph.decls:
+            raise EvalError(
+                f"{call.func!r} is a primitive; set/delete need a declared function",
+                sexp.loc,
+                self.filename,
+            )
+        return call
+
+    def _need(self, sexp: SList, count: int, usage: str) -> None:
+        if len(sexp.items) != count:
+            raise EvalError(f"malformed action, want {usage}", sexp.loc, self.filename)
+
+    def _need_symbol(self, sexp: Sexp, what: str) -> str:
+        if not isinstance(sexp, Symbol):
+            raise EvalError(f"expected {what}, got {sexp}", sexp.loc, self.filename)
+        return sexp.name
+
+    def _check_sorts(self, sorts: Sequence[str], loc: Loc) -> None:
+        for name in sorts:
+            if name not in self.egraph.sorts:
+                raise SortError(f"undeclared sort {name!r}", loc, self.filename)
+
+    # -- merge / default expressions ------------------------------------------
+
+    def _lower_merge(self, sexp: Sexp) -> Callable[[Value, Value], Value]:
+        """Compile a ``:merge`` expression over ``old``/``new`` into a callable."""
+        # ``old``/``new`` are reserved here: a global of the same name must
+        # not be inlined in their place, so mask the globals while lowering.
+        masked = {
+            name: self.globals.pop(name) for name in ("old", "new") if name in self.globals
+        }
+        try:
+            term = self._lower_expr(sexp, pattern=True)
+        finally:
+            self.globals.update(masked)
+        self._require_primitive_term(
+            term, sexp, allowed_vars=("old", "new"), context=":merge"
+        )
+        egraph = self.egraph
+
+        def merge_fn(old: Value, new: Value) -> Value:
+            return egraph.eval_term(term, {"old": old, "new": new})
+
+        return merge_fn
+
+    def _lower_default(self, sexp: Sexp, out_sort: str) -> Value:
+        """Evaluate a ``:default`` expression (ground, primitives only)."""
+        term = self._lower_expr(sexp, pattern=True)
+        self._require_primitive_term(term, sexp, allowed_vars=(), context=":default")
+        value = self.egraph.eval_term(term, {})
+        coerced = coerce_literal(value, out_sort)
+        if coerced is None:
+            raise SortError(
+                f":default must produce a {out_sort}, got a {value.sort}",
+                sexp.loc,
+                self.filename,
+            )
+        return coerced
+
+    def _require_primitive_term(
+        self, term: Term, origin: Sexp, allowed_vars: Tuple[str, ...], context: str
+    ) -> None:
+        """Merge/default expressions may only use primitives and allowed vars."""
+        if isinstance(term, TermVar):
+            if term.name not in allowed_vars:
+                allowed = " and ".join(repr(v) for v in allowed_vars) or "no variables"
+                raise EvalError(
+                    f"{context} expressions may reference {allowed}, "
+                    f"not {term.name!r}",
+                    origin.loc,
+                    self.filename,
+                )
+            return
+        if isinstance(term, TermApp):
+            if term.func in self.egraph.decls:
+                raise EvalError(
+                    f"{context} expressions may only call primitives, "
+                    f"not the function {term.func!r}",
+                    origin.loc,
+                    self.filename,
+                )
+            for arg in term.args:
+                self._require_primitive_term(arg, origin, allowed_vars, context)
+
+    # -- command handlers -----------------------------------------------------
+
+    def _do_sort(self, cmd: SortCmd) -> None:
+        self.egraph.declare_sort(cmd.name)
+
+    def _do_datatype(self, cmd: DatatypeCmd) -> None:
+        self.egraph.declare_sort(cmd.name)
+        for variant in cmd.variants:
+            self._check_sorts(variant.arg_sorts, variant.loc)
+            self.egraph.constructor(
+                variant.name, variant.arg_sorts, cmd.name, cost=variant.cost
+            )
+
+    def _do_function(self, cmd: FunctionCmd) -> None:
+        self._check_sorts(cmd.arg_sorts + (cmd.out_sort,), cmd.loc)
+        merge = self._lower_merge(cmd.merge) if cmd.merge is not None else None
+        default = (
+            self._lower_default(cmd.default, cmd.out_sort)
+            if cmd.default is not None
+            else None
+        )
+        self.egraph.function(
+            cmd.name,
+            cmd.arg_sorts,
+            cmd.out_sort,
+            merge=merge,
+            default=default,
+            cost=cmd.cost,
+            unextractable=cmd.unextractable,
+        )
+
+    def _do_relation(self, cmd: RelationCmd) -> None:
+        self._check_sorts(cmd.arg_sorts, cmd.loc)
+        self.egraph.relation(cmd.name, cmd.arg_sorts)
+
+    def _do_rule(self, cmd: RuleCmd) -> None:
+        facts = [self._lower_fact(sexp) for sexp in cmd.facts]
+        actions = [self._lower_action(sexp, pattern=True) for sexp in cmd.actions]
+        self.egraph.add_rule(
+            Rule(facts=facts, actions=actions, name=cmd.name, ruleset=cmd.ruleset)
+        )
+
+    def _do_rewrite(self, cmd: RewriteCmd) -> None:
+        lhs = self._lower_expr(cmd.lhs, pattern=True)
+        rhs = self._lower_expr(cmd.rhs, pattern=True)
+        conditions = [self._lower_fact(sexp) for sexp in cmd.conditions]
+        self._check_rewrite_vars(lhs, rhs, conditions, cmd)
+        if cmd.bidirectional:
+            self._check_rewrite_vars(rhs, lhs, conditions, cmd)
+        self.egraph.add_rewrite(
+            lhs,
+            rhs,
+            conditions=conditions,
+            name=cmd.name,
+            ruleset=cmd.ruleset,
+            bidirectional=cmd.bidirectional,
+        )
+
+    def _check_rewrite_vars(
+        self, lhs: Term, rhs: Term, conditions: List[Fact], cmd: RewriteCmd
+    ) -> None:
+        bound = set(lhs.variables())
+        for fact in conditions:
+            if isinstance(fact, EqFact):
+                bound.update(fact.lhs.variables())
+                bound.update(fact.rhs.variables())
+            else:
+                bound.update(fact.variables())
+        free = sorted(set(rhs.variables()) - bound)
+        if free:
+            raise EvalError(
+                f"rewrite right-hand side uses unbound variable(s): {', '.join(free)}",
+                cmd.loc,
+                self.filename,
+            )
+
+    def _do_let(self, cmd: LetCmd) -> None:
+        if cmd.name in self.globals:
+            raise EvalError(
+                f"global {cmd.name!r} is already bound", cmd.loc, self.filename
+            )
+        term = self._lower_expr(cmd.expr, pattern=False)
+        self.globals[cmd.name] = self.egraph.add(term)
+
+    def _do_union(self, cmd: UnionCmd) -> None:
+        self.egraph.union(
+            self._lower_expr(cmd.lhs, pattern=False),
+            self._lower_expr(cmd.rhs, pattern=False),
+        )
+
+    def _do_set(self, cmd: SetCmd) -> None:
+        target = self._lower_target(cmd.call, pattern=False)
+        value = self._lower_expr(cmd.value, pattern=False)
+        out_sort = self.egraph.decls[target.func].out_sort
+        action = Set(target, self._coerce(value, out_sort, cmd.value))
+        run_actions(self.egraph, [action], {})
+
+    def _do_delete(self, cmd: DeleteCmd) -> None:
+        action = Delete(self._lower_target(cmd.call, pattern=False))
+        run_actions(self.egraph, [action], {})
+
+    def _do_top_action(self, cmd: TopAction) -> None:
+        head = cmd.sexp.items[0]
+        assert isinstance(head, Symbol)
+        if head.name not in self.egraph.decls and head.name not in self.egraph.registry:
+            raise UnknownCommandError(
+                f"unknown command or function {head.name!r}", head.loc, self.filename
+            )
+        action = self._lower_action(cmd.sexp, pattern=False)
+        run_actions(self.egraph, [action], {})
+
+    def _do_run(self, cmd: RunCmd) -> None:
+        report = self.egraph.run(cmd.limit, ruleset=cmd.ruleset)
+        status = "saturated" if report.saturated else "iteration limit"
+        self.emit(
+            f"run: {report.iterations} iteration(s), "
+            f"{report.num_matches} match(es), {status}"
+        )
+
+    def _do_check(self, cmd: CheckCmd) -> None:
+        self.egraph.rebuild()  # globals must be inlined at canonical ids
+        facts = [self._lower_fact(sexp) for sexp in cmd.facts]
+        try:
+            count = self.egraph.check(*facts)
+        except CheckError:
+            rendered = " ".join(format_fact(fact) for fact in facts)
+            raise EvalError(
+                f"check failed: no matches for {rendered}", cmd.loc, self.filename
+            ) from None
+        self.emit(f"check: ok ({count} match(es))")
+
+    def _do_extract(self, cmd: ExtractCmd) -> None:
+        self.egraph.rebuild()
+        term = self._lower_expr(cmd.expr, pattern=False)
+        cost, best = self.egraph.extract_with_cost(term)
+        self.emit(f"extract: {format_term(best)} (cost {cost})")
+
+    def _do_query_extract(self, cmd: QueryExtractCmd) -> None:
+        self.egraph.rebuild()
+        expr = self._lower_expr(cmd.expr, pattern=True)
+        facts = [self._lower_fact(sexp) for sexp in cmd.facts]
+        matches = self.egraph.query(*facts)
+        results = set()
+        for match in matches:
+            value = self.egraph.eval_term(expr, match, insert=False)
+            if value is None:
+                continue
+            _cost, best = self.egraph.extract_with_cost(value)
+            results.add(format_term(best))
+        self.emit(f"query-extract: {len(results)} result(s)")
+        for line in sorted(results):
+            self.emit(f"  {line}")
+
+    def _do_push(self, cmd: PushCmd) -> None:
+        for _ in range(cmd.count):
+            self.egraph.push()
+            self._globals_stack.append(dict(self.globals))
+
+    def _do_pop(self, cmd: PopCmd) -> None:
+        if cmd.count > len(self._globals_stack):
+            raise EvalError(
+                f"pop {cmd.count} without matching push "
+                f"(stack depth {len(self._globals_stack)})",
+                cmd.loc,
+                self.filename,
+            )
+        self.egraph.pop(cmd.count)
+        for _ in range(cmd.count):
+            self.globals = self._globals_stack.pop()
+
+    _HANDLERS = {
+        SortCmd: _do_sort,
+        DatatypeCmd: _do_datatype,
+        FunctionCmd: _do_function,
+        RelationCmd: _do_relation,
+        RuleCmd: _do_rule,
+        RewriteCmd: _do_rewrite,
+        LetCmd: _do_let,
+        UnionCmd: _do_union,
+        SetCmd: _do_set,
+        DeleteCmd: _do_delete,
+        TopAction: _do_top_action,
+        RunCmd: _do_run,
+        CheckCmd: _do_check,
+        ExtractCmd: _do_extract,
+        QueryExtractCmd: _do_query_extract,
+        PushCmd: _do_push,
+        PopCmd: _do_pop,
+    }
+
+
+def run_program(
+    text: str,
+    filename: Optional[str] = None,
+    *,
+    strategy: str = "indexed",
+) -> List[str]:
+    """Run one .egg program on a fresh engine; return its output lines."""
+    return Evaluator(strategy=strategy).run_program(text, filename)

@@ -309,3 +309,82 @@ def test_saturation_report_statistics():
     assert "base" in report.per_rule_matches
     assert report.total_time >= 0.0
     assert "saturated" in report.summary()
+
+
+# -- push / pop context snapshots --------------------------------------------
+
+
+def test_push_pop_restores_tables_unions_and_rules():
+    eg = path_engine()
+    for a, b in [(1, 2), (2, 3)]:
+        eg.add(App("edge", a, b))
+    eg.run(10)
+    rows_before = dict(eg.table_rows("path"))
+    rules_before = set(eg.rules)
+
+    eg.push()
+    eg.add(App("edge", 3, 4))
+    eg.add_rule(
+        Rule(name="extra", facts=[App("edge", V("x"), V("y"))], actions=[])
+    )
+    eg.run(10)
+    assert (i64(1), i64(4)) in dict(eg.table_rows("path"))
+    assert "extra" in eg.rules
+
+    eg.pop()
+    assert dict(eg.table_rows("path")) == rows_before
+    assert set(eg.rules) == rules_before
+    # The engine keeps working after a pop: rerunning stays saturated.
+    assert eg.run(10).saturated
+
+
+def test_push_pop_undoes_unions_and_new_declarations():
+    eg = EGraph()
+    eg.declare_sort("S")
+    eg.constructor("A", (), "S")
+    eg.constructor("B", (), "S")
+    eg.add(App("A"))
+    eg.add(App("B"))
+
+    eg.push()
+    eg.declare_sort("T")
+    eg.constructor("C", (), "S")
+    eg.union(App("A"), App("B"))
+    eg.rebuild()
+    assert eg.are_equal(App("A"), App("B"))
+
+    eg.pop()
+    assert not eg.are_equal(App("A"), App("B"))
+    assert "T" not in eg.sorts
+    assert "C" not in eg.decls and "C" not in eg.tables
+
+
+def test_pop_counts_and_errors():
+    eg = EGraph()
+    assert eg.push() == 1
+    assert eg.push() == 2
+    assert eg.pop(2) == 0
+    with pytest.raises(EGraphError):
+        eg.pop()
+    eg.push()
+    with pytest.raises(EGraphError):
+        eg.pop(2)
+    with pytest.raises(EGraphError):
+        eg.pop(0)
+
+
+def test_pop_restores_seminaive_watermarks():
+    eg = path_engine()
+    eg.add(App("edge", 1, 2))
+    eg.run(10)
+    watermarks = {name: rule.last_run for name, rule in eg.rules.items()}
+    eg.push()
+    eg.add(App("edge", 2, 3))
+    eg.run(10)
+    assert {n: r.last_run for n, r in eg.rules.items()} != watermarks
+    eg.pop()
+    assert {n: r.last_run for n, r in eg.rules.items()} == watermarks
+    # New facts after the pop are still picked up from the restored watermark.
+    eg.add(App("edge", 2, 5))
+    eg.run(10)
+    assert (i64(1), i64(5)) in dict(eg.table_rows("path"))

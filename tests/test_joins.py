@@ -1,4 +1,4 @@
-"""Both join strategies must agree — the triangle query and delta searches."""
+"""Both join strategies must agree — hand-picked queries and random fuzz."""
 
 import pytest
 
@@ -103,3 +103,81 @@ def test_primitive_binders_extend_bindings(search):
 def test_missing_table_means_no_matches(search):
     query = triangle_query()
     assert list(search({}, default_registry(), query)) == []
+
+
+# ---------------------------------------------------------------------------
+# Fuzz equivalence: random conjunctive queries over random small databases
+# must return identical substitution sets from both join strategies.
+# ---------------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+_VARS = ["x", "y", "z", "w"]
+_VALUES = list(range(5))
+
+
+@st.composite
+def database_and_query(draw):
+    """A random multi-relation database plus a random conjunctive query."""
+    tables = {}
+    arities = {}
+    for name in ("r", "s"):
+        arity = draw(st.integers(1, 2))
+        arities[name] = arity
+        table = Table(FunctionDecl(name, ("i64",) * arity, UNIT))
+        rows = draw(
+            st.lists(
+                st.tuples(*([st.sampled_from(_VALUES)] * arity)),
+                max_size=12,
+                unique=True,
+            )
+        )
+        for timestamp, row in enumerate(rows):
+            table.put(tuple(i64(v) for v in row), UNIT_VALUE, timestamp % 3)
+        tables[name] = table
+
+    query = Query()
+    n_atoms = draw(st.integers(1, 3))
+    for index in range(n_atoms):
+        name = draw(st.sampled_from(["r", "s"]))
+        args = tuple(
+            QVar(draw(st.sampled_from(_VARS)))
+            if draw(st.booleans())
+            else i64(draw(st.sampled_from(_VALUES)))
+            for _ in range(arities[name])
+        )
+        query.atoms.append(TableAtom(name, args, QVar(f"_o{index}")))
+    # Optionally add a primitive guard over two variables the atoms bind.
+    bound = sorted(query.table_variables() - {f"_o{i}" for i in range(n_atoms)})
+    if bound and draw(st.booleans()):
+        op = draw(st.sampled_from(["<", "<=", "!="]))
+        a = draw(st.sampled_from(bound))
+        b = draw(st.sampled_from(bound))
+        query.prims.append(PrimAtom(op, (QVar(a), QVar(b)), None))
+    delta = draw(st.sampled_from([None, 0]))
+    since = draw(st.integers(0, 2)) if delta is not None else 0
+    return tables, query, delta, since
+
+
+def _canonical(matches):
+    return sorted(
+        tuple(sorted((name, value.data) for name, value in match.items()))
+        for match in matches
+    )
+
+
+@settings(max_examples=120)
+@given(case=database_and_query())
+def test_fuzz_random_queries_strategies_agree(case):
+    tables, query, delta, since = case
+    registry = default_registry()
+    indexed = _canonical(
+        search_indexed(tables, registry, query, delta_atom=delta, since=since)
+    )
+    generic = _canonical(
+        search_generic(tables, registry, query, delta_atom=delta, since=since)
+    )
+    assert indexed == generic
+    # The functional database admits no duplicate substitutions.
+    assert len(indexed) == len(set(indexed))
