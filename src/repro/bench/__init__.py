@@ -1,0 +1,30 @@
+"""Benchmark harness for the egglog reproduction (``python -m repro.bench``).
+
+The ROADMAP's north star asks for hot paths "as fast as the hardware
+allows" — which is unfalsifiable without numbers.  This package makes every
+PR measurable:
+
+* :mod:`repro.bench.workloads` — parameterized workload generators
+  (transitive closure on chain/random/grid graphs, math rewriting at
+  growing depths, congruence-closure stress).
+* :mod:`repro.bench.runner` — runs each workload under several engine
+  variants (persistent-index generic join, the per-execution-trie baseline,
+  index-nested-loop), times the search/apply/rebuild phases via
+  :class:`~repro.core.schema.RunReport`, and emits one schema-stable
+  ``BENCH_<name>.json`` per workload, including the index-vs-baseline
+  comparison.
+
+Run ``python -m repro.bench --quick`` for a CI-sized smoke pass.
+"""
+
+from .runner import DEFAULT_VARIANTS, SCHEMA, run_suite, run_workload
+from .workloads import Workload, default_workloads
+
+__all__ = [
+    "DEFAULT_VARIANTS",
+    "SCHEMA",
+    "Workload",
+    "default_workloads",
+    "run_suite",
+    "run_workload",
+]

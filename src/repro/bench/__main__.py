@@ -1,0 +1,111 @@
+"""``python -m repro.bench``: run the benchmark suite, emit BENCH_*.json.
+
+Examples::
+
+    python -m repro.bench                 # full suite, 3 repeats, cwd output
+    python -m repro.bench --quick         # CI-smoke sizes, 1 repeat
+    python -m repro.bench --only tc       # transitive-closure workloads only
+    python -m repro.bench --variants generic-index,generic-adhoc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .runner import DEFAULT_VARIANTS, run_suite
+from .workloads import default_workloads
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the repro engine; writes one BENCH_<name>.json "
+        "per workload.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-smoke sizes and a single repeat per variant",
+    )
+    parser.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="directory for BENCH_*.json files (default: current directory)",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="SUBSTRING",
+        help="run only workloads whose name contains SUBSTRING",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="repeats per (workload, variant); default 3, or 1 with --quick",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the workload generators (default: 0)",
+    )
+    parser.add_argument(
+        "--variants",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated variant subset of: "
+        + ", ".join(sorted(DEFAULT_VARIANTS)),
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list workload names and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    workloads = default_workloads(quick=args.quick, seed=args.seed)
+    if args.only:
+        workloads = [w for w in workloads if args.only in w.name]
+        if not workloads:
+            print(f"error: no workload matches {args.only!r}", file=sys.stderr)
+            return 1
+    if args.list:
+        for workload in workloads:
+            print(f"{workload.name}  [{workload.family}]  {workload.params}")
+        return 0
+    variants = dict(DEFAULT_VARIANTS)
+    if args.variants:
+        names = [name.strip() for name in args.variants.split(",") if name.strip()]
+        unknown = [name for name in names if name not in DEFAULT_VARIANTS]
+        if unknown:
+            print(
+                f"error: unknown variant(s) {', '.join(unknown)}; "
+                f"pick from {', '.join(sorted(DEFAULT_VARIANTS))}",
+                file=sys.stderr,
+            )
+            return 1
+        variants = {name: DEFAULT_VARIANTS[name] for name in names}
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    if repeats < 1:
+        print("error: --repeats must be positive", file=sys.stderr)
+        return 1
+    run_suite(
+        workloads,
+        variants=variants,
+        repeats=repeats,
+        out_dir=Path(args.out),
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

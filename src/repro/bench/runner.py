@@ -1,0 +1,157 @@
+"""Benchmark runner: time workloads across engine variants, emit BENCH JSON.
+
+For each workload the runner builds a fresh engine per (variant, repeat),
+times setup and run separately with ``time.perf_counter``, and folds in the
+phase split (search/apply/rebuild) that the scheduler's
+:class:`~repro.core.schema.RunReport` already tracks.  Aggregation is the
+median over repeats — robust to one noisy run without needing many.
+
+One ``BENCH_<name>.json`` is written per workload.  The schema is stable
+(``schema`` key, fixed key set per level) so downstream tooling and future
+PRs can diff numbers without parsing churn.  The ``comparison`` block
+records the headline the index subsystem is accountable for: persistent
+incremental indexes (``generic-index``) versus the per-execution trie
+rebuild baseline (``generic-adhoc``) on the same workload.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..engine import EGraph
+from .workloads import Workload
+
+#: Schema identifier written into every BENCH file; bump on breaking change.
+SCHEMA = "repro.bench/v1"
+
+#: Engine variants measured by default: the persistent-index generic join,
+#: its per-execution trie-rebuild baseline, and the index-nested-loop join.
+DEFAULT_VARIANTS: Dict[str, str] = {
+    "generic-index": "generic",
+    "generic-adhoc": "generic-adhoc",
+    "indexed": "indexed",
+}
+
+#: The headline comparison recorded in each BENCH file.
+BASELINE_VARIANT = "generic-adhoc"
+CANDIDATE_VARIANT = "generic-index"
+
+
+def _run_once(workload: Workload, strategy: str) -> Dict[str, object]:
+    """One cold run of ``workload`` on a fresh engine; returns raw numbers."""
+    egraph = EGraph(strategy=strategy)
+    start = time.perf_counter()
+    workload.setup(egraph)
+    setup_s = time.perf_counter() - start
+    start = time.perf_counter()
+    report = workload.run(egraph)
+    run_s = time.perf_counter() - start
+    table_rows = {
+        name: len(egraph.tables[name])
+        for name in workload.tables_of_interest
+        if name in egraph.tables
+    }
+    return {
+        "setup_s": setup_s,
+        "run_s": run_s,
+        "search_s": report.search_time,
+        "apply_s": report.apply_time,
+        "rebuild_s": report.rebuild_time,
+        "iterations": report.iterations,
+        "matches": report.num_matches,
+        "delta_skips": report.delta_skips,
+        "saturated": report.saturated,
+        "table_rows": table_rows,
+    }
+
+
+def run_workload(
+    workload: Workload,
+    variants: Optional[Dict[str, str]] = None,
+    *,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Measure ``workload`` under every variant; returns the BENCH document."""
+    variants = dict(variants if variants is not None else DEFAULT_VARIANTS)
+    measured: Dict[str, object] = {}
+    for variant, strategy in variants.items():
+        runs = [_run_once(workload, strategy) for _ in range(repeats)]
+        runs_s = [run["run_s"] for run in runs]
+        # median_low throughout: every reported number (headline, phase
+        # split, counts) comes from the same actually-measured run.
+        median = runs[runs_s.index(statistics.median_low(runs_s))]
+        measured[variant] = {
+            "strategy": strategy,
+            "repeats": repeats,
+            "run_s": median["run_s"],
+            "runs_s": runs_s,
+            "setup_s": median["setup_s"],
+            "search_s": median["search_s"],
+            "apply_s": median["apply_s"],
+            "rebuild_s": median["rebuild_s"],
+            "iterations": median["iterations"],
+            "matches": median["matches"],
+            "delta_skips": median["delta_skips"],
+            "saturated": median["saturated"],
+            "table_rows": median["table_rows"],
+        }
+
+    document: Dict[str, object] = {
+        "schema": SCHEMA,
+        "name": workload.name,
+        "family": workload.family,
+        "params": workload.params,
+        "python": ".".join(str(part) for part in sys.version_info[:3]),
+        "variants": measured,
+    }
+    baseline = measured.get(BASELINE_VARIANT)
+    candidate = measured.get(CANDIDATE_VARIANT)
+    if baseline is not None and candidate is not None:
+        baseline_s = baseline["run_s"]
+        candidate_s = candidate["run_s"]
+        document["comparison"] = {
+            "baseline": BASELINE_VARIANT,
+            "candidate": CANDIDATE_VARIANT,
+            "baseline_run_s": baseline_s,
+            "candidate_run_s": candidate_s,
+            "speedup": (baseline_s / candidate_s) if candidate_s > 0 else None,
+        }
+    return document
+
+
+def write_document(document: Dict[str, object], out_dir: Path) -> Path:
+    """Write one BENCH document as ``BENCH_<name>.json``; returns the path."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{document['name']}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def run_suite(
+    workloads: Iterable[Workload],
+    *,
+    variants: Optional[Dict[str, str]] = None,
+    repeats: int = 3,
+    out_dir: Path = Path("."),
+    log: Callable[[str], None] = print,
+) -> List[Path]:
+    """Run every workload, write its BENCH file, and log a one-line summary."""
+    paths: List[Path] = []
+    for workload in workloads:
+        document = run_workload(workload, variants, repeats=repeats)
+        path = write_document(document, out_dir)
+        paths.append(path)
+        summary = ", ".join(
+            f"{variant}={entry['run_s'] * 1000:.1f}ms"
+            for variant, entry in document["variants"].items()  # type: ignore[union-attr]
+        )
+        comparison = document.get("comparison")
+        if isinstance(comparison, dict) and comparison.get("speedup"):
+            summary += f"  (index speedup over adhoc: {comparison['speedup']:.2f}x)"
+        log(f"bench: {workload.name}: {summary} -> {path}")
+    return paths

@@ -1,0 +1,251 @@
+"""Parameterized benchmark workloads.
+
+Every workload is deterministic: generators take an explicit seed and use a
+private :class:`random.Random`, so two runs on the same parameters exercise
+the engine identically and timing differences are attributable to the
+engine, not the input.
+
+Three families:
+
+* **Transitive closure** (:func:`transitive_closure`) — the paper's
+  canonical Datalog workload: ``path(x,z) :- path(x,y), edge(y,z)`` on
+  chain, random (Erdős–Rényi-style), and grid graphs.  Many semi-naïve
+  iterations over a growing ``path`` table: exactly the shape where
+  persistent indexes beat per-execution trie builds.
+* **Math rewriting** (:func:`math_rewriting`) — equality saturation over a
+  small arithmetic datatype (commutativity/associativity/identities) on a
+  balanced expression of a given depth, run a bounded number of
+  iterations.  Stresses e-node insertion, unions, and rebuilding together.
+* **Congruence stress** (:func:`congruence_stress`) — towers of unary
+  applications over leaf classes that are then unioned pairwise, forcing
+  cascades of congruence repairs.  Measures the rebuild path in isolation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..core.schema import RunReport
+from ..core.terms import App, V
+from ..engine import EGraph, Rule
+from ..engine.actions import Expr
+
+
+@dataclass
+class Workload:
+    """One benchmark scenario: a database/ruleset builder plus a run phase.
+
+    ``setup`` declares functions, asserts ground facts, and registers rules
+    on a fresh engine; ``run`` drives it (usually the scheduler) and
+    returns the :class:`RunReport` whose phase timings the runner records.
+    """
+
+    name: str
+    family: str
+    params: Dict[str, object]
+    setup: Callable[[EGraph], None]
+    run: Callable[[EGraph], RunReport]
+    tables_of_interest: Tuple[str, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Transitive closure
+# ---------------------------------------------------------------------------
+
+
+def _chain_edges(n: int) -> List[Tuple[int, int]]:
+    return [(i, i + 1) for i in range(n - 1)]
+
+
+def _random_edges(n: int, m: int, seed: int) -> List[Tuple[int, int]]:
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            edges.add((a, b))
+    return sorted(edges)
+
+
+def _grid_edges(side: int) -> List[Tuple[int, int]]:
+    """Directed right/down edges of a ``side`` × ``side`` grid."""
+    edges = []
+    for row in range(side):
+        for col in range(side):
+            node = row * side + col
+            if col + 1 < side:
+                edges.append((node, node + 1))
+            if row + 1 < side:
+                edges.append((node, node + side))
+    return edges
+
+
+def transitive_closure(kind: str, *, n: int, m: int = 0, seed: int = 0) -> Workload:
+    """Transitive closure on a ``kind`` graph (``chain``/``random``/``grid``).
+
+    ``n`` is the node count (side² for grids, where ``n`` is the side);
+    ``m`` the edge count for random graphs.
+    """
+    if kind == "chain":
+        edges = _chain_edges(n)
+    elif kind == "random":
+        edges = _random_edges(n, m, seed)
+    elif kind == "grid":
+        edges = _grid_edges(n)
+    else:
+        raise ValueError(f"unknown graph kind {kind!r}")
+    limit = len(edges) + max(n, 4) + 4  # enough iterations to saturate
+
+    def setup(egraph: EGraph) -> None:
+        egraph.relation("edge", ("i64", "i64"))
+        egraph.relation("path", ("i64", "i64"))
+        egraph.add_rules(
+            Rule(
+                facts=[App("edge", V("x"), V("y"))],
+                actions=[Expr(App("path", V("x"), V("y")))],
+                name="edge-to-path",
+            ),
+            Rule(
+                facts=[App("path", V("x"), V("y")), App("edge", V("y"), V("z"))],
+                actions=[Expr(App("path", V("x"), V("z")))],
+                name="path-step",
+            ),
+        )
+        for a, b in edges:
+            egraph.add(App("edge", a, b))
+
+    return Workload(
+        name=f"tc_{kind}",
+        family="transitive-closure",
+        params={"kind": kind, "n": n, "m": m or len(edges), "seed": seed},
+        setup=setup,
+        run=lambda egraph: egraph.run(limit),
+        tables_of_interest=("edge", "path"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Math rewriting
+# ---------------------------------------------------------------------------
+
+
+def _math_term(depth: int, rng: random.Random):
+    if depth == 0:
+        return App("Num", rng.randrange(8))
+    op = rng.choice(("Add", "Mul"))
+    return App(op, _math_term(depth - 1, rng), _math_term(depth - 1, rng))
+
+
+def math_rewriting(*, depth: int, iterations: int, seed: int = 0) -> Workload:
+    """Equality saturation over arithmetic terms of a given depth.
+
+    Rewrites (commutativity, associativity, ``x+0``, ``x*1``, ``x*0``) run
+    a bounded number of iterations — saturation would be exponential, so
+    the iteration count is a workload parameter.
+    """
+
+    def setup(egraph: EGraph) -> None:
+        egraph.declare_sort("Math")
+        egraph.constructor("Num", ("i64",), "Math")
+        egraph.constructor("Add", ("Math", "Math"), "Math")
+        egraph.constructor("Mul", ("Math", "Math"), "Math")
+        a, b, c = V("a"), V("b"), V("c")
+        egraph.add_rewrite(App("Add", a, b), App("Add", b, a), name="comm-add")
+        egraph.add_rewrite(App("Mul", a, b), App("Mul", b, a), name="comm-mul")
+        egraph.add_rewrite(
+            App("Add", App("Add", a, b), c),
+            App("Add", a, App("Add", b, c)),
+            name="assoc-add",
+        )
+        egraph.add_rewrite(App("Add", a, App("Num", 0)), a, name="add-zero")
+        egraph.add_rewrite(App("Mul", a, App("Num", 1)), a, name="mul-one")
+        egraph.add_rewrite(App("Mul", a, App("Num", 0)), App("Num", 0), name="mul-zero")
+        rng = random.Random(seed)
+        egraph.add(_math_term(depth, rng))
+
+    return Workload(
+        name="math",
+        family="math-rewriting",
+        params={"depth": depth, "iterations": iterations, "seed": seed},
+        setup=setup,
+        run=lambda egraph: egraph.run(iterations),
+        tables_of_interest=("Add", "Mul", "Num"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Congruence-closure stress
+# ---------------------------------------------------------------------------
+
+
+def congruence_stress(*, leaves: int, height: int, seed: int = 0) -> Workload:
+    """Union leaf classes under towers of unary ``f`` and count the fallout.
+
+    Builds ``leaves`` towers ``f(f(...f(Leaf(i))))`` of the given height,
+    then unions the leaves pairwise in a seeded random order.  Every union
+    forces congruence repairs up the towers; the run phase is rebuilding,
+    driven through :meth:`EGraph.rebuild` so the report isolates it.
+    """
+
+    def setup(egraph: EGraph) -> None:
+        egraph.declare_sort("V")
+        egraph.constructor("Leaf", ("i64",), "V")
+        egraph.constructor("F", ("V",), "V")
+        for index in range(leaves):
+            term = App("Leaf", index)
+            for _ in range(height):
+                term = App("F", term)
+            egraph.add(term)
+
+    def run(egraph: EGraph) -> RunReport:
+        import time
+
+        rng = random.Random(seed)
+        order = list(range(leaves))
+        rng.shuffle(order)
+        report = RunReport()
+        start = time.perf_counter()
+        for left, right in zip(order, order[1:]):
+            egraph.union(App("Leaf", left), App("Leaf", right))
+            egraph.rebuild()
+            report.iterations += 1
+        report.rebuild_time = time.perf_counter() - start
+        report.saturated = True
+        return report
+
+    return Workload(
+        name="congruence",
+        family="congruence-closure",
+        params={"leaves": leaves, "height": height, "seed": seed},
+        setup=setup,
+        run=run,
+        tables_of_interest=("Leaf", "F"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Default suites
+# ---------------------------------------------------------------------------
+
+
+def default_workloads(*, quick: bool = False, seed: int = 0) -> List[Workload]:
+    """The standard suite; ``quick`` shrinks parameters to CI-smoke size."""
+    if quick:
+        return [
+            transitive_closure("chain", n=28, seed=seed),
+            transitive_closure("random", n=18, m=36, seed=seed),
+            transitive_closure("grid", n=4, seed=seed),
+            math_rewriting(depth=4, iterations=4, seed=seed),
+            congruence_stress(leaves=60, height=4, seed=seed),
+        ]
+    return [
+        transitive_closure("chain", n=72, seed=seed),
+        # Sparse (m ≈ 2n): long derivation chains, many semi-naïve
+        # iterations — the regime the incremental indexes target.
+        transitive_closure("random", n=48, m=96, seed=seed),
+        transitive_closure("grid", n=7, seed=seed),
+        math_rewriting(depth=5, iterations=5, seed=seed),
+        congruence_stress(leaves=220, height=5, seed=seed),
+    ]

@@ -7,8 +7,15 @@ iteration at which it was inserted or last updated — which is what makes
 semi-naïve evaluation (Section 4.3) possible: a delta query only needs to
 look at rows whose timestamp is at least the rule's last-run timestamp.
 
-Tables also maintain lazily-built hash indexes over column subsets, used by
-the query engine for index-nested-loop joins and by rebuilding.
+Tables own two kinds of indexes, both maintained *incrementally* on every
+``put``/``remove`` (including the canonicalizing rewrites rebuilding
+performs):
+
+* hash indexes over column subsets (``index``), used by the
+  index-nested-loop join and by rebuilding's dirty-id probes, and
+* column-order tries (:class:`~repro.core.index.TrieIndex`, via
+  ``ensure_trie``/``trie``), consumed directly by generic join, with
+  timestamp buckets so semi-naïve delta restriction reads an index slice.
 """
 
 from __future__ import annotations
@@ -17,10 +24,16 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from .index import Order, TrieIndex
 from .schema import FunctionDecl
 from .values import Value
 
 Key = Tuple[Value, ...]
+
+#: A hash index: projection tuple -> insertion-ordered set of keys.  The
+#: inner dict is used as an ordered set (values are always None) so that
+#: incremental removal is O(1) and iteration order stays deterministic.
+HashIndex = Dict[Tuple[Value, ...], Dict[Key, None]]
 
 
 @dataclass
@@ -43,9 +56,8 @@ class Table:
     def __init__(self, decl: FunctionDecl) -> None:
         self.decl = decl
         self.data: Dict[Key, Row] = {}
-        self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Value, ...], List[Key]]] = {}
-        self._index_versions: Dict[Tuple[int, ...], int] = {}
-        self._version = 0
+        self._indexes: Dict[Tuple[int, ...], HashIndex] = {}
+        self._tries: Dict[Order, TrieIndex] = {}
         # Append-only write log (parallel timestamp/key arrays) so that
         # ``new_keys`` — the semi-naïve delta (Section 4.3) — costs
         # O(|delta|) rather than a full-table scan.  The engine only writes
@@ -79,15 +91,42 @@ class Table:
         return self.data.get(key)
 
     def put(self, key: Key, value: Value, timestamp: int) -> None:
-        """Insert or overwrite a row.  Bumps the table version."""
+        """Insert or overwrite a row, updating every maintained index."""
+        old = self.data.get(key)
         self.data[key] = Row(value, timestamp)
-        self._version += 1
         if self._log_ts and timestamp < self._log_ts[-1]:
             self._log_sorted = False
         self._log_ts.append(timestamp)
         self._log_keys.append(key)
         if len(self._log_ts) > 64 and len(self._log_ts) > 4 * len(self.data):
             self._compact_log()
+
+        if self._indexes and (old is None or old.value != value):
+            arity = self.decl.arity
+            for columns, index in self._indexes.items():
+                if old is not None:
+                    if all(col < arity for col in columns):
+                        continue  # projection over arguments only: unchanged
+                    old_proj = self._project(columns, key, old.value)
+                    entry = index.get(old_proj)
+                    if entry is not None:
+                        entry.pop(key, None)
+                        if not entry:
+                            del index[old_proj]
+                index.setdefault(self._project(columns, key, value), {})[key] = None
+        if self._tries and (
+            old is None or old.value != value or old.timestamp != timestamp
+        ):
+            for trie in self._tries.values():
+                if trie.stale:
+                    continue  # rebuilt from ``data`` on next access
+                if old is not None:
+                    trie.remove(key + (old.value,), old.timestamp)
+                trie.insert(key + (value,), timestamp)
+
+    def _project(self, columns: Tuple[int, ...], key: Key, value: Value) -> Tuple[Value, ...]:
+        arity = self.decl.arity
+        return tuple(value if col == arity else key[col] for col in columns)
 
     def _compact_log(self) -> None:
         """Rebuild the write log from live rows (drops dead/duplicate entries)."""
@@ -100,10 +139,21 @@ class Table:
         self._log_sorted = True
 
     def remove(self, key: Key) -> Optional[Row]:
-        """Remove and return a row (None if absent)."""
+        """Remove and return a row (None if absent); indexes stay in sync."""
         row = self.data.pop(key, None)
-        if row is not None:
-            self._version += 1
+        if row is None:
+            return None
+        if self._indexes:
+            for columns, index in self._indexes.items():
+                proj = self._project(columns, key, row.value)
+                entry = index.get(proj)
+                if entry is not None:
+                    entry.pop(key, None)
+                    if not entry:
+                        del index[proj]
+        for trie in self._tries.values():
+            if not trie.stale:
+                trie.remove(key + (row.value,), row.timestamp)
         return row
 
     def rows(self) -> Iterator[Tuple[Key, Value, int]]:
@@ -140,6 +190,22 @@ class Table:
                 out.append(key)
         return out
 
+    def has_new(self, since: int) -> bool:
+        """True iff any live row is stamped at or after ``since``.
+
+        The scheduler's zero-delta short-circuit: when an atom's table has
+        nothing new since a rule's watermark, the whole delta search for
+        that atom is skipped before any trie or index work happens.
+        """
+        if not self._log_sorted:
+            return any(row.timestamp >= since for row in self.data.values())
+        start = bisect_left(self._log_ts, since)
+        for key in self._log_keys[start:]:
+            row = self.data.get(key)
+            if row is not None and row.timestamp >= since:
+                return True
+        return False
+
     # -- snapshots (push/pop support) ----------------------------------------
 
     def snapshot(self) -> tuple:
@@ -147,45 +213,88 @@ class Table:
 
         Rows are shared, not copied: the engine never mutates a ``Row`` in
         place (``put`` always stores a fresh one), so structural sharing is
-        safe and keeps ``push`` cheap.
+        safe and keeps ``push`` cheap.  Indexes are derived data and are not
+        captured; :meth:`restore` marks them for lazy rebuild instead.
         """
         return (dict(self.data), list(self._log_ts), list(self._log_keys), self._log_sorted)
 
     def restore(self, state: tuple) -> None:
-        """Reinstall a state captured by :meth:`snapshot`."""
+        """Reinstall a state captured by :meth:`snapshot`.
+
+        Hash indexes describe the abandoned state and are dropped (rebuilt
+        on demand).  Registered tries survive — their orderings are the
+        compiled rules' access plans — but are marked stale so the next
+        access reconstructs them from the restored rows.
+        """
         data, log_ts, log_keys, log_sorted = state
         self.data = data
         self._log_ts = log_ts
         self._log_keys = log_keys
         self._log_sorted = log_sorted
-        # Cached indexes describe the abandoned state; invalidate them all.
         self._indexes.clear()
-        self._index_versions.clear()
-        self._version += 1
+        for trie in self._tries.values():
+            trie.stale = True
 
-    # -- indexes --------------------------------------------------------------
+    # -- hash indexes ---------------------------------------------------------
 
-    def index(self, columns: Tuple[int, ...]) -> Dict[Tuple[Value, ...], List[Key]]:
+    def index(self, columns: Tuple[int, ...]) -> HashIndex:
         """Hash index mapping projections on ``columns`` to matching keys.
 
-        Indexes are cached and rebuilt lazily when the table has changed.
-        Column ``arity`` refers to the output value.
+        Built once on first request (O(|table|)) and then maintained
+        incrementally by ``put``/``remove``, so repeated access — e.g.
+        rebuilding's per-round dirty-id probes — no longer pays a rebuild
+        whenever the table changed.  Column ``arity`` refers to the output.
         """
         cached = self._indexes.get(columns)
-        if cached is not None and self._index_versions.get(columns) == self._version:
+        if cached is not None:
             return cached
-        arity = self.decl.arity
-        index: Dict[Tuple[Value, ...], List[Key]] = {}
+        index: HashIndex = {}
         for key, row in self.data.items():
-            projection = tuple(
-                row.value if col == arity else key[col] for col in columns
-            )
-            index.setdefault(projection, []).append(key)
+            index.setdefault(self._project(columns, key, row.value), {})[key] = None
         self._indexes[columns] = index
-        self._index_versions[columns] = self._version
         return index
 
-    def column_values(self, column: int) -> Dict[Value, List[Key]]:
-        """Single-column index (used by generic join)."""
+    def column_values(self, column: int) -> Dict[Value, Dict[Key, None]]:
+        """Single-column index view (used by tests and introspection)."""
         grouped = self.index((column,))
         return {proj[0]: keys for proj, keys in grouped.items()}
+
+    # -- trie indexes ---------------------------------------------------------
+
+    def ensure_trie(self, order: Order) -> TrieIndex:
+        """Register (or refresh) the persistent trie over ``order``.
+
+        ``order`` must be a permutation of all columns ``0 .. arity``.  The
+        first registration builds the trie from the current rows; later
+        calls are cheap no-ops unless a snapshot restore left it stale.
+        """
+        trie = self._tries.get(order)
+        if trie is None:
+            trie = TrieIndex(order)
+            trie.rebuild_from(self._stamped_rows())
+            self._tries[order] = trie
+        elif trie.stale:
+            trie.rebuild_from(self._stamped_rows())
+        return trie
+
+    def trie(self, order: Order) -> Optional[TrieIndex]:
+        """The registered trie over ``order``, or None — never builds one.
+
+        Search paths use this: an unregistered ordering (one-off queries,
+        ``check``) falls back to the ad-hoc per-execution trie instead of
+        paying for a persistent index it would use once.
+        """
+        trie = self._tries.get(order)
+        if trie is None:
+            return None
+        if trie.stale:
+            trie.rebuild_from(self._stamped_rows())
+        return trie
+
+    def trie_orders(self) -> List[Order]:
+        """The currently registered trie orderings (introspection/tests)."""
+        return list(self._tries)
+
+    def _stamped_rows(self) -> Iterator[Tuple[Tuple[Value, ...], int]]:
+        for key, row in self.data.items():
+            yield key + (row.value,), row.timestamp

@@ -7,8 +7,19 @@ intersecting the candidate values contributed by every atom that mentions the
 variable.  On cyclic or multi-pattern queries this avoids the intermediate
 blowups of pairwise joins.
 
-The implementation builds, per query execution, a trie (nested dictionary)
-for each atom keyed by that atom's variables in the global variable order.
+The tries generic join descends are *persistent* whenever possible: each
+atom is planned against its table's registered column-trie indexes
+(:mod:`repro.core.index`), which are maintained incrementally as the table
+changes — constants are resolved by descending the trie's constant prefix,
+and the semi-naïve delta atom reads a timestamp-bucket slice instead of
+filtering rows.  Atoms whose ordering has no registered index (one-off
+queries, repeated variables) fall back to the original per-execution
+nested-dict trie build.
+
+The global variable order is structural (occurrence count, then first
+occurrence) rather than cardinality-based so that a compiled rule's index
+orderings are stable across iterations; the scheduler registers them with
+the tables up front.
 """
 
 from __future__ import annotations
@@ -17,6 +28,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .builtins import PrimitiveRegistry
 from .database import Table
+from .index import descend_constants, plan_query
 from .query import Query, QVar, Substitution, TableAtom, apply_prims
 from .values import Value
 
@@ -90,11 +102,14 @@ def search_generic(
     query: Query,
     delta_atom: Optional[int] = None,
     since: int = 0,
+    use_indexes: bool = True,
 ) -> Iterator[Substitution]:
     """Run ``query`` with a variable-at-a-time worst-case optimal join.
 
     ``delta_atom``/``since`` implement the semi-naïve restriction: when given,
     the designated atom only contributes rows with ``timestamp >= since``.
+    ``use_indexes=False`` forces the per-execution trie build for every atom
+    (the pre-index baseline, kept for ``repro.bench`` comparisons).
     """
     atoms = query.atoms
     if not atoms:
@@ -106,43 +121,44 @@ def search_generic(
         if atom.func not in tables:
             return
 
-    # Project every atom onto its variables.
-    atom_vars: List[List[str]] = []
-    atom_rows: List[List[Tuple[Value, ...]]] = []
-    for index, atom in enumerate(atoms):
-        restrict = delta_atom is not None and index == delta_atom
-        names, rows = _project_atom(
-            atom, _atom_rows(tables[atom.func], restrict, since)
-        )
-        if not rows:
-            # An empty atom (whether it has variables or is ground) means the
-            # whole conjunction has no answers.
-            return
-        atom_vars.append(names)
-        atom_rows.append(rows)
-
-    # Global variable order: variables that occur in many atoms first (they
-    # constrain the search the most), tie-broken by the smallest total
-    # candidate count.
-    occurrence: Dict[str, int] = {}
-    total_rows: Dict[str, int] = {}
-    for names, rows in zip(atom_vars, atom_rows):
-        for name in names:
-            occurrence[name] = occurrence.get(name, 0) + 1
-            total_rows[name] = total_rows.get(name, 0) + len(rows)
-    var_order = sorted(occurrence, key=lambda v: (-occurrence[v], total_rows[v]))
-    var_rank = {name: rank for rank, name in enumerate(var_order)}
-
-    # Build one trie per atom, keyed by its variables sorted in global order.
-    tries: List[Dict] = []
-    atom_sorted_vars: List[List[str]] = []
-    for names, rows in zip(atom_vars, atom_rows):
-        sorted_names = sorted(names, key=lambda v: var_rank[v])
-        permutation = [names.index(v) for v in sorted_names]
-        tries.append(_build_trie(rows, permutation))
-        atom_sorted_vars.append(sorted_names)
-
+    plan = plan_query(query)
+    var_order = plan.var_order
+    var_rank = plan.var_rank
     n_atoms = len(atoms)
+
+    # The delta atom goes first: if nothing is new since the watermark, the
+    # search exits before any other atom pays for projection or trie work.
+    atom_order = list(range(n_atoms))
+    if delta_atom is not None:
+        atom_order.remove(delta_atom)
+        atom_order.insert(0, delta_atom)
+
+    tries: List[Optional[Dict]] = [None] * n_atoms
+    atom_sorted_vars: List[Tuple[str, ...]] = [()] * n_atoms
+    for index in atom_order:
+        atom = atoms[index]
+        table = tables[atom.func]
+        restrict = delta_atom is not None and index == delta_atom
+        spec = plan.specs[index]
+        if use_indexes and spec is not None:
+            trie = table.trie(spec.order)
+            if trie is not None:
+                root = trie.delta_root(since) if restrict else trie.root
+                node = descend_constants(root, spec.const_values)
+                if node is None:
+                    # An empty atom (whether it has variables or is ground)
+                    # means the whole conjunction has no answers.
+                    return
+                tries[index] = node
+                atom_sorted_vars[index] = spec.var_names
+                continue
+        names, rows = _project_atom(atom, _atom_rows(table, restrict, since))
+        if not rows:
+            return
+        sorted_names = tuple(sorted(names, key=lambda v: var_rank[v]))
+        permutation = [names.index(v) for v in sorted_names]
+        tries[index] = _build_trie(rows, permutation)
+        atom_sorted_vars[index] = sorted_names
 
     def recurse(
         depth: int, nodes: List[Dict], consumed: Tuple[int, ...], bindings: Substitution
@@ -163,7 +179,11 @@ def search_generic(
             yield from recurse(depth + 1, nodes, consumed, bindings)
             return
         smallest = min(relevant, key=lambda index: len(nodes[index]))
-        for value in nodes[smallest]:
+        # Snapshot the iterated level: persistent tries are live structures,
+        # and a caller consuming this generator lazily may mutate the
+        # database between yields (same reason search_indexed snapshots its
+        # candidate keys).  Deeper levels pass through this same loop.
+        for value in list(nodes[smallest]):
             new_nodes = list(nodes)
             new_consumed = list(consumed)
             ok = True
@@ -180,4 +200,21 @@ def search_generic(
             yield from recurse(depth + 1, new_nodes, tuple(new_consumed), bindings)
             del bindings[variable]
 
-    yield from recurse(0, tries, tuple(0 for _ in range(n_atoms)), {})
+    yield from recurse(0, tries, tuple(0 for _ in range(n_atoms)), {})  # type: ignore[arg-type]
+
+
+def search_generic_adhoc(
+    tables: Dict[str, Table],
+    registry: PrimitiveRegistry,
+    query: Query,
+    delta_atom: Optional[int] = None,
+    since: int = 0,
+) -> Iterator[Substitution]:
+    """Generic join that always rebuilds its tries per execution.
+
+    This is the pre-index behaviour, kept as a named strategy so the
+    benchmark harness can measure what the persistent indexes buy.
+    """
+    return search_generic(
+        tables, registry, query, delta_atom=delta_atom, since=since, use_indexes=False
+    )

@@ -273,7 +273,9 @@ def search_indexed(
             candidate_keys = table.new_keys(since)
         elif bound_cols:
             index = table.index(tuple(bound_cols))
-            candidate_keys = index.get(tuple(bound_vals), [])
+            # Snapshot the entry: the index is live (incrementally maintained)
+            # and this generator may outlive subsequent table writes.
+            candidate_keys = list(index.get(tuple(bound_vals), ()))
         else:
             candidate_keys = list(table.data.keys())
 

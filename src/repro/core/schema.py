@@ -97,6 +97,9 @@ class RunReport:
     num_matches: int = 0
     updated: bool = False
     per_rule_matches: dict = field(default_factory=dict)
+    #: Delta searches skipped because the atom's table had no rows newer
+    #: than the rule's watermark (the scheduler's zero-delta short-circuit).
+    delta_skips: int = 0
 
     @property
     def total_time(self) -> float:
@@ -122,5 +125,6 @@ class RunReport:
         self.rebuild_time += other.rebuild_time
         self.num_matches += other.num_matches
         self.updated = self.updated or other.updated
+        self.delta_skips += other.delta_skips
         for name, count in other.per_rule_matches.items():
             self.per_rule_matches[name] = self.per_rule_matches.get(name, 0) + count

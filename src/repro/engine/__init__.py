@@ -7,6 +7,7 @@ Datalog + equality-saturation engine of the paper:
 * :mod:`repro.engine.rule` — rules, facts, and rewrite/birewrite sugar
 * :mod:`repro.engine.rebuild` — congruence-closure rebuilding (Section 4)
 * :mod:`repro.engine.scheduler` — semi-naïve fixpoint iteration (Section 4.3)
+* :mod:`repro.engine.schedule` — run-schedule combinators (saturate/seq/repeat)
 * :mod:`repro.engine.egraph` — the user-facing :class:`EGraph` facade
 """
 
@@ -22,6 +23,7 @@ from .rule import (
     eq,
     rewrite,
 )
+from .schedule import Repeat, Run, Saturate, Schedule, Seq, repeat, saturate, seq
 from .scheduler import Scheduler
 
 __all__ = [
@@ -39,12 +41,20 @@ __all__ = [
     "Let",
     "MergeError",
     "Panic",
+    "Repeat",
     "Rule",
+    "Run",
     "SEARCH_STRATEGIES",
+    "Saturate",
+    "Schedule",
     "Scheduler",
+    "Seq",
     "Set",
     "Union",
     "birewrite",
     "eq",
+    "repeat",
     "rewrite",
+    "saturate",
+    "seq",
 ]

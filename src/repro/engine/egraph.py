@@ -27,7 +27,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.builtins import PrimitiveRegistry, default_registry
 from ..core.database import Table
-from ..core.genericjoin import search_generic
+from ..core.genericjoin import search_generic, search_generic_adhoc
+from ..core.index import plan_query
 from ..core.query import Query, Substitution, search_indexed
 from ..core.schema import MERGE_ERROR, MERGE_UNION, FunctionDecl, RunReport
 from ..core.terms import Term, TermApp, TermLit, TermLike, TermVar, as_term
@@ -39,6 +40,7 @@ from .rebuild import rebuild as _rebuild
 from .rule import DEFAULT_RULESET, CompiledRule, Fact, Rule, compile_facts, compile_rule
 from .rule import birewrite as _birewrite
 from .rule import rewrite as _rewrite
+from .schedule import Schedule, Seq
 from .scheduler import Scheduler
 
 Key = Tuple[Value, ...]
@@ -48,15 +50,23 @@ Key = Tuple[Value, ...]
 SEARCH_STRATEGIES = {
     "indexed": search_indexed,
     "generic": search_generic,
+    "generic-adhoc": search_generic_adhoc,
 }
+
+#: Strategies that consume the persistent column-trie indexes; the engine
+#: registers each compiled rule's orderings with the tables for these.
+_TRIE_INDEX_STRATEGIES = frozenset({"generic"})
 
 
 class EGraph:
     """An egglog engine instance.
 
     ``strategy`` selects the join algorithm used for rule search:
-    ``"indexed"`` (index-nested-loop, the default) or ``"generic"``
-    (worst-case-optimal generic join, as in relational e-matching).
+    ``"indexed"`` (index-nested-loop, the default), ``"generic"``
+    (worst-case-optimal generic join over persistent incrementally
+    maintained trie indexes, as in relational e-matching), or
+    ``"generic-adhoc"`` (generic join rebuilding its tries on every
+    execution — the pre-index baseline kept for benchmarking).
     """
 
     def __init__(
@@ -72,6 +82,9 @@ class EGraph:
             )
         self.strategy = strategy
         self._search_fn = SEARCH_STRATEGIES[strategy]
+        #: True when rule search consumes persistent trie indexes; the
+        #: engine then registers each compiled rule's orderings up front.
+        self.uses_trie_indexes = strategy in _TRIE_INDEX_STRATEGIES
         self.uf = UnionFind()
         self.registry = registry if registry is not None else default_registry()
         self.sorts: Dict[str, Sort] = dict(BUILTIN_SORTS)
@@ -332,7 +345,24 @@ class EGraph:
         self._validate_actions(compiled.actions, f"rule {compiled.name!r}")
         self.rules[compiled.name] = compiled
         self.rulesets.setdefault(compiled.ruleset, []).append(compiled.name)
+        if self.uses_trie_indexes:
+            self.register_rule_indexes(compiled)
         return compiled.name
+
+    def register_rule_indexes(self, rule: CompiledRule) -> None:
+        """Register the rule's planned trie orderings with its tables.
+
+        The plan is structural (deterministic per query), so registering at
+        compile time and searching later agree on the orderings.  Atoms with
+        repeated variables have no spec and keep using the ad-hoc trie path.
+        """
+        plan = plan_query(rule.query)
+        for atom, spec in zip(rule.query.atoms, plan.specs):
+            if spec is None:
+                continue
+            table = self.tables.get(atom.func)
+            if table is not None:
+                table.ensure_trie(spec.order)
 
     def add_rules(self, *rules: Rule) -> List[str]:
         """Register several rules; returns their names."""
@@ -362,6 +392,13 @@ class EGraph:
     def run(self, limit: int = 1, *, ruleset: str = DEFAULT_RULESET) -> RunReport:
         """Run up to ``limit`` scheduler iterations (§4.3); see RunReport."""
         return self.scheduler.run(limit, ruleset)
+
+    def run_schedule(self, *schedules: Schedule) -> RunReport:
+        """Run schedule combinators (``run-schedule``): saturate/seq/repeat.
+
+        Multiple arguments run in sequence; see :mod:`repro.engine.schedule`.
+        """
+        return self.scheduler.run_schedule(Seq(tuple(schedules)))
 
     def rebuild(self) -> int:
         """Restore congruence closure (§4); returns the number of repair rounds."""

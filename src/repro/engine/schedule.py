@@ -1,0 +1,76 @@
+"""Run schedules: composable control over rule execution (``run-schedule``).
+
+egglog's surface language offers more than a bare iteration limit: the
+``run-schedule`` command composes *schedules* — run a ruleset to
+saturation, sequence phases, repeat a phase a fixed number of times.
+These are the combinators:
+
+* :class:`Run` — up to ``limit`` scheduler iterations of one ruleset
+  (stopping early at saturation), the primitive every schedule bottoms
+  out in.
+* :class:`Seq` — run sub-schedules in order.
+* :class:`Repeat` — run a sequence of sub-schedules up to ``times`` times,
+  stopping early once a whole pass changes nothing.
+* :class:`Saturate` — repeat a sequence of sub-schedules until a whole
+  pass changes nothing.
+
+Termination of ``Saturate`` is inherited from the engine's own saturation
+test: a pass that performs no inserts, updates, unions, or deletes cannot
+enable new matches, so the loop stops.  The scheduler interprets these
+(:meth:`repro.engine.scheduler.Scheduler.run_schedule`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from .rule import DEFAULT_RULESET
+
+
+@dataclass(frozen=True)
+class Run:
+    """Run one ruleset for up to ``limit`` iterations (early-stop on saturation)."""
+
+    limit: int = 1
+    ruleset: str = DEFAULT_RULESET
+
+
+@dataclass(frozen=True)
+class Seq:
+    """Run each sub-schedule once, in order."""
+
+    schedules: Tuple["Schedule", ...]
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """Run the sub-schedules as a pass, up to ``times`` passes."""
+
+    times: int
+    schedules: Tuple["Schedule", ...]
+
+
+@dataclass(frozen=True)
+class Saturate:
+    """Run the sub-schedules as a pass until a pass changes nothing."""
+
+    schedules: Tuple["Schedule", ...]
+
+
+Schedule = Union[Run, Seq, Repeat, Saturate]
+
+
+def saturate(*schedules: Schedule) -> Saturate:
+    """Sugar: ``saturate(...)`` with default ``Run()`` when no body is given."""
+    return Saturate(schedules or (Run(),))
+
+
+def seq(*schedules: Schedule) -> Seq:
+    """Sugar for :class:`Seq`."""
+    return Seq(schedules)
+
+
+def repeat(times: int, *schedules: Schedule) -> Repeat:
+    """Sugar: ``repeat(n, ...)`` with default ``Run()`` when no body is given."""
+    return Repeat(times, schedules or (Run(),))

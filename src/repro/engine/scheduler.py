@@ -9,7 +9,8 @@ One engine iteration has three phases, mirroring Figure 9 of the paper:
    once per atom with that atom restricted to new rows (``delta_atom`` /
    ``since`` in the search functions) and deduplicating the union of the
    results; a match made entirely of old rows was already found in an
-   earlier iteration.
+   earlier iteration.  A delta run whose atom has *zero* new rows since the
+   watermark is skipped outright, before any trie or index work.
 2. **Apply** every match's actions (``repro.engine.actions``).  The global
    timestamp is bumped first, so rows written in this phase are visible as
    "new" to every rule's next search.
@@ -19,12 +20,17 @@ Matches are collected for *all* rules before any action runs, so rules
 within an iteration see the same database snapshot.  The run saturates when
 an iteration changes nothing: no inserts, no output updates, no unions, no
 deletes.
+
+When the engine's strategy consumes persistent trie indexes, the scheduler
+registers each compiled rule's column orderings with the tables up front
+(once per rule — later calls are no-ops), so the first search already runs
+on maintained indexes.
 """
 
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..core.query import Substitution
 from ..core.schema import RunReport
@@ -32,6 +38,7 @@ from .actions import run_actions
 from .errors import EGraphError
 from .rebuild import rebuild
 from .rule import DEFAULT_RULESET, CompiledRule
+from .schedule import Repeat, Run, Saturate, Schedule, Seq
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .egraph import EGraph
@@ -45,14 +52,18 @@ class Scheduler:
 
     # -- searching ------------------------------------------------------------
 
-    def search_rule(self, rule: CompiledRule) -> List[Substitution]:
+    def search_rule(
+        self, rule: CompiledRule, report: Optional[RunReport] = None
+    ) -> List[Substitution]:
         """All matches of ``rule`` that involve rows newer than its watermark.
 
         On a rule's first run (``last_run == 0``) this is a plain full
         search.  Afterwards it is the semi-naïve delta: the union over atoms
         ``i`` of the query with atom ``i`` restricted to rows stamped at or
         after ``last_run``, deduplicated (a match containing several new rows
-        is produced once per new atom).
+        is produced once per new atom).  Atoms whose tables have no new rows
+        since the watermark contribute nothing and are short-circuited
+        before any per-query work.
         """
         egraph = self.egraph
         query = rule.query
@@ -66,7 +77,12 @@ class Scheduler:
             return list(egraph.search(query))
         matches: List[Substitution] = []
         seen = set()
-        for index in range(len(query.atoms)):
+        for index, atom in enumerate(query.atoms):
+            table = egraph.tables.get(atom.func)
+            if table is None or not table.has_new(rule.last_run):
+                if report is not None:
+                    report.delta_skips += 1
+                continue
             for match in egraph.search(query, delta_atom=index, since=rule.last_run):
                 key = tuple(sorted(match.items(), key=lambda item: item[0]))
                 if key not in seen:
@@ -92,11 +108,17 @@ class Scheduler:
         rebuild(egraph)
         report.rebuild_time += time.perf_counter() - start
 
+        # Every ordering a rule's plan needs is registered before searching,
+        # so the join always finds maintained tries (no-op when present).
+        if egraph.uses_trie_indexes:
+            for rule in rules:
+                egraph.register_rule_indexes(rule)
+
         # Phase 1: search (all rules see the same snapshot).
         searched: List[Tuple[CompiledRule, List[Substitution]]] = []
         for rule in rules:
             start = time.perf_counter()
-            matches = self.search_rule(rule)
+            matches = self.search_rule(rule, report)
             report.search_time += time.perf_counter() - start
             report.num_matches += len(matches)
             report.per_rule_matches[rule.name] = len(matches)
@@ -130,3 +152,36 @@ class Scheduler:
             if iteration.saturated:
                 break
         return total
+
+    # -- schedules -------------------------------------------------------------
+
+    def run_schedule(self, schedule: Schedule) -> RunReport:
+        """Interpret a :mod:`repro.engine.schedule` combinator tree."""
+        if isinstance(schedule, Run):
+            return self.run(schedule.limit, schedule.ruleset)
+        if isinstance(schedule, Seq):
+            total = RunReport()
+            for sub in schedule.schedules:
+                total.merge_with(self.run_schedule(sub))
+            return total
+        if isinstance(schedule, Repeat):
+            total = RunReport()
+            for _ in range(schedule.times):
+                if self._run_pass(schedule.schedules, total):
+                    break
+            return total
+        if isinstance(schedule, Saturate):
+            total = RunReport()
+            while not self._run_pass(schedule.schedules, total):
+                pass
+            return total
+        raise EGraphError(f"unknown schedule {schedule!r}")
+
+    def _run_pass(self, schedules: Tuple[Schedule, ...], total: RunReport) -> bool:
+        """One pass over ``schedules``; True iff the pass changed nothing."""
+        updates_before = self.egraph.updates
+        for sub in schedules:
+            total.merge_with(self.run_schedule(sub))
+        quiescent = self.egraph.updates == updates_before
+        total.saturated = quiescent
+        return quiescent

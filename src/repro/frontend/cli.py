@@ -38,9 +38,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats",
         action="store_true",
-        help="print engine statistics after each file",
+        help="print engine statistics, per-rule match counts, and phase "
+        "timings after each file",
     )
     return parser
+
+
+def _print_stats(evaluator: Evaluator, name: str) -> None:
+    """Engine size, per-rule match counts, and phase timings for one file."""
+    stats = evaluator.egraph.stats()
+    tables = ", ".join(
+        f"{table}={size}" for table, size in sorted(stats["tables"].items())
+    )
+    print(
+        f"stats: {name}: classes={stats['n_classes']} "
+        f"unions={stats['n_unions']} tables: {tables or '(none)'}"
+    )
+    report = evaluator.report
+    if report.iterations:
+        print(
+            f"stats: phases: search {report.search_time * 1000:.1f} ms / "
+            f"apply {report.apply_time * 1000:.1f} ms / "
+            f"rebuild {report.rebuild_time * 1000:.1f} ms "
+            f"({report.iterations} iteration(s), "
+            f"{report.delta_skips} delta search(es) skipped)"
+        )
+    if report.per_rule_matches:
+        matches = ", ".join(
+            f"{rule}={count}"
+            for rule, count in sorted(report.per_rule_matches.items())
+        )
+        print(f"stats: rule matches: {matches}")
 
 
 def _read(path: str) -> "tuple[str, str]":
@@ -65,12 +93,5 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 1
         if args.stats:
-            stats = evaluator.egraph.stats()
-            tables = ", ".join(
-                f"{table}={size}" for table, size in sorted(stats["tables"].items())
-            )
-            print(
-                f"stats: {name}: classes={stats['n_classes']} "
-                f"unions={stats['n_unions']} tables: {tables or '(none)'}"
-            )
+            _print_stats(evaluator, name)
     return 0

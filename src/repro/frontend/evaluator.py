@@ -21,12 +21,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.schema import RunReport
 from ..core.terms import Term, TermApp, TermLit, TermVar
 from ..core.values import Value, coerce_literal
 from ..engine import EGraph, Rule
 from ..engine.actions import Action, Delete, Expr, Let, Panic, Set, Union, run_actions
 from ..engine.errors import CheckError, EGraphError
 from ..engine.rule import EqFact, Fact
+from ..engine.schedule import Repeat, Run, Saturate, Schedule, Seq
 from .errors import (
     ArityError,
     EvalError,
@@ -50,6 +52,7 @@ from .parser import (
     RewriteCmd,
     RuleCmd,
     RunCmd,
+    RunScheduleCmd,
     SetCmd,
     SortCmd,
     TopAction,
@@ -76,6 +79,9 @@ class Evaluator:
         self._sink = sink
         self.lines: List[str] = []
         self.filename: Optional[str] = None
+        #: Accumulated statistics over every run/run-schedule this session
+        #: executed (per-rule match counts, phase timings); see ``--stats``.
+        self.report = RunReport()
 
     # -- entry points ---------------------------------------------------------
 
@@ -436,11 +442,100 @@ class Evaluator:
 
     def _do_run(self, cmd: RunCmd) -> None:
         report = self.egraph.run(cmd.limit, ruleset=cmd.ruleset)
+        self.report.merge_with(report)
         status = "saturated" if report.saturated else "iteration limit"
         self.emit(
             f"run: {report.iterations} iteration(s), "
             f"{report.num_matches} match(es), {status}"
         )
+
+    # -- run-schedule ---------------------------------------------------------
+
+    def _do_run_schedule(self, cmd: RunScheduleCmd) -> None:
+        schedules = tuple(self._lower_schedule(sexp) for sexp in cmd.schedules)
+        report = self.egraph.run_schedule(*schedules)
+        self.report.merge_with(report)
+        status = "saturated" if report.saturated else "done"
+        self.emit(
+            f"run-schedule: {report.iterations} iteration(s), "
+            f"{report.num_matches} match(es), {status}"
+        )
+
+    def _lower_schedule(self, sexp: Sexp) -> Schedule:
+        """Lower a schedule s-expression into engine combinators.
+
+        Grammar (mirroring egglog's surface language):
+        ``sched ::= ruleset-name | (run [n] [:ruleset r]) | (saturate sched...)
+        | (seq sched...) | (repeat n sched...)``
+        """
+        if isinstance(sexp, Symbol):
+            # A bare ruleset name runs that ruleset for one iteration.
+            self._check_ruleset(sexp.name, sexp.loc)
+            return Run(1, sexp.name)
+        if not isinstance(sexp, SList) or not sexp.items or not isinstance(
+            sexp.items[0], Symbol
+        ):
+            raise EvalError(
+                f"expected a schedule like (saturate ...) or a ruleset name, "
+                f"got {sexp}",
+                sexp.loc,
+                self.filename,
+            )
+        head = sexp.items[0]
+        rest = sexp.items[1:]
+        if head.name == "saturate":
+            return Saturate(tuple(self._lower_schedule(s) for s in rest) or (Run(),))
+        if head.name == "seq":
+            return Seq(tuple(self._lower_schedule(s) for s in rest))
+        if head.name == "repeat":
+            if not rest:
+                raise EvalError(
+                    "'repeat' expects a count and sub-schedules", sexp.loc, self.filename
+                )
+            times = self._schedule_int(rest[0], "a repeat count")
+            body = tuple(self._lower_schedule(s) for s in rest[1:]) or (Run(),)
+            return Repeat(times, body)
+        if head.name == "run":
+            limit = 1
+            ruleset = ""
+            items = list(rest)
+            if items and isinstance(items[0], Literal):
+                limit = self._schedule_int(items[0], "an iteration limit")
+                items = items[1:]
+            if items:
+                if (
+                    len(items) != 2
+                    or not isinstance(items[0], Symbol)
+                    or items[0].name != ":ruleset"
+                ):
+                    raise EvalError(
+                        "malformed schedule, want (run [n] [:ruleset r])",
+                        sexp.loc,
+                        self.filename,
+                    )
+                ruleset = self._need_symbol(items[1], "a ruleset name")
+                self._check_ruleset(ruleset, items[1].loc)
+            return Run(limit, ruleset)
+        raise EvalError(
+            f"unknown schedule combinator {head.name!r} "
+            f"(want saturate/seq/repeat/run)",
+            head.loc,
+            self.filename,
+        )
+
+    def _schedule_int(self, sexp: Sexp, what: str) -> int:
+        if not isinstance(sexp, Literal) or sexp.value.sort != "i64":
+            raise EvalError(
+                f"expected {what} (an integer), got {sexp}", sexp.loc, self.filename
+            )
+        count = int(sexp.value.data)
+        if count < 1:
+            raise EvalError(f"{what} must be positive, got {count}", sexp.loc, self.filename)
+        return count
+
+    def _check_ruleset(self, name: str, loc: Loc) -> None:
+        if name not in self.egraph.rulesets:
+            raise EvalError(f"unknown ruleset {name!r}", loc, self.filename)
 
     def _do_check(self, cmd: CheckCmd) -> None:
         self.egraph.rebuild()  # globals must be inlined at canonical ids
@@ -506,6 +601,7 @@ class Evaluator:
         DeleteCmd: _do_delete,
         TopAction: _do_top_action,
         RunCmd: _do_run,
+        RunScheduleCmd: _do_run_schedule,
         CheckCmd: _do_check,
         ExtractCmd: _do_extract,
         QueryExtractCmd: _do_query_extract,

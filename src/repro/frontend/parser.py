@@ -111,6 +111,18 @@ class RunCmd(Command):
 
 
 @dataclass(frozen=True)
+class RunScheduleCmd(Command):
+    """``(run-schedule sched...)``: schedule combinators, left as s-exprs.
+
+    Schedules nest arbitrarily (``saturate``/``seq``/``repeat``/``run`` and
+    bare ruleset names); lowering them needs the engine's rulesets, so the
+    parser keeps them raw and the evaluator interprets.
+    """
+
+    schedules: Tuple[Sexp, ...]
+
+
+@dataclass(frozen=True)
 class CheckCmd(Command):
     facts: Tuple[Sexp, ...]
 
@@ -189,6 +201,7 @@ class Parser:
         "set": "_parse_set",
         "delete": "_parse_delete",
         "run": "_parse_run",
+        "run-schedule": "_parse_run_schedule",
         "check": "_parse_check",
         "extract": "_parse_extract",
         "query-extract": "_parse_query_extract",
@@ -409,6 +422,11 @@ class Parser:
         if limit < 1:
             raise form.error(f"'run' limit must be positive, got {limit}")
         return RunCmd(form.loc, limit, self._ruleset_option(form))
+
+    def _parse_run_schedule(self, form: _Form) -> RunScheduleCmd:
+        if not form.args:
+            raise form.error("'run-schedule' expects at least one schedule")
+        return RunScheduleCmd(form.loc, tuple(form.args))
 
     def _parse_check(self, form: _Form) -> CheckCmd:
         if not form.args:

@@ -1,0 +1,157 @@
+"""Benchmark subsystem: workload determinism, runner schema, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import SCHEMA, default_workloads, run_suite, run_workload
+from repro.bench.__main__ import main as bench_main
+from repro.bench.runner import write_document
+from repro.bench.workloads import (
+    congruence_stress,
+    math_rewriting,
+    transitive_closure,
+)
+
+TINY_VARIANTS = {"generic-index": "generic", "generic-adhoc": "generic-adhoc"}
+
+
+def tiny_tc():
+    return transitive_closure("chain", n=6)
+
+
+# -- workload generators ------------------------------------------------------
+
+
+def test_generators_are_deterministic_per_seed():
+    first = transitive_closure("random", n=8, m=12, seed=3)
+    second = transitive_closure("random", n=8, m=12, seed=3)
+    assert first.params == second.params
+    from repro.engine import EGraph
+
+    engines = []
+    for workload in (first, second):
+        egraph = EGraph()
+        workload.setup(egraph)
+        engines.append(sorted((k[0].data, k[1].data) for k, _v in egraph.table_rows("edge")))
+    assert engines[0] == engines[1]
+    assert len(engines[0]) == 12
+
+
+def test_grid_edges_shape():
+    workload = transitive_closure("grid", n=3)
+    from repro.engine import EGraph
+
+    egraph = EGraph()
+    workload.setup(egraph)
+    # A 3x3 grid has 2*3*2 = 12 directed right/down edges.
+    assert len(egraph.tables["edge"]) == 12
+
+
+def test_unknown_graph_kind_rejected():
+    with pytest.raises(ValueError, match="unknown graph kind"):
+        transitive_closure("torus", n=4)
+
+
+def test_default_workloads_cover_three_families():
+    families = {w.family for w in default_workloads(quick=True)}
+    assert families == {"transitive-closure", "math-rewriting", "congruence-closure"}
+
+
+# -- runner -------------------------------------------------------------------
+
+
+def test_run_workload_document_schema():
+    document = run_workload(tiny_tc(), TINY_VARIANTS, repeats=1)
+    assert document["schema"] == SCHEMA
+    assert document["name"] == "tc_chain"
+    assert set(document["variants"]) == set(TINY_VARIANTS)
+    for entry in document["variants"].values():
+        for field in (
+            "strategy",
+            "run_s",
+            "runs_s",
+            "setup_s",
+            "search_s",
+            "apply_s",
+            "rebuild_s",
+            "iterations",
+            "matches",
+            "delta_skips",
+            "saturated",
+            "table_rows",
+        ):
+            assert field in entry
+        assert entry["saturated"] is True
+        assert entry["table_rows"]["path"] == 15  # closure of a 6-chain
+    comparison = document["comparison"]
+    assert comparison["baseline"] == "generic-adhoc"
+    assert comparison["candidate"] == "generic-index"
+    assert comparison["speedup"] > 0
+
+
+def test_variants_agree_on_results():
+    workloads = [
+        tiny_tc(),
+        math_rewriting(depth=3, iterations=3),
+        congruence_stress(leaves=8, height=3),
+    ]
+    for workload in workloads:
+        document = run_workload(workload, TINY_VARIANTS, repeats=1)
+        sizes = {
+            variant: entry["table_rows"]
+            for variant, entry in document["variants"].items()
+        }
+        assert sizes["generic-index"] == sizes["generic-adhoc"], workload.name
+
+
+def test_write_document_and_run_suite(tmp_path):
+    paths = run_suite(
+        [tiny_tc()],
+        variants=TINY_VARIANTS,
+        repeats=1,
+        out_dir=tmp_path,
+        log=lambda line: None,
+    )
+    assert paths == [tmp_path / "BENCH_tc_chain.json"]
+    document = json.loads(paths[0].read_text())
+    assert document["schema"] == SCHEMA
+    # write_document round-trips to the same file name.
+    assert write_document(document, tmp_path) == paths[0]
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_list(capsys):
+    assert bench_main(["--quick", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "tc_chain" in out and "congruence" in out
+
+
+def test_cli_only_filter_writes_single_file(tmp_path, capsys):
+    assert (
+        bench_main(
+            [
+                "--quick",
+                "--only",
+                "tc_chain",
+                "--out",
+                str(tmp_path),
+                "--variants",
+                "generic-index,generic-adhoc",
+            ]
+        )
+        == 0
+    )
+    assert sorted(p.name for p in tmp_path.glob("BENCH_*.json")) == [
+        "BENCH_tc_chain.json"
+    ]
+    assert "bench: tc_chain:" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_selection(tmp_path, capsys):
+    assert bench_main(["--only", "nope", "--out", str(tmp_path)]) == 1
+    assert "no workload matches" in capsys.readouterr().err
+    assert bench_main(["--variants", "warp-drive", "--out", str(tmp_path)]) == 1
+    assert "unknown variant" in capsys.readouterr().err

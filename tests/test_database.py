@@ -54,7 +54,7 @@ def test_index_groups_by_projection_and_covers_output_column():
     table.put(key(2, 3), i64(20), 0)
     by_first = table.index((0,))
     assert set(by_first[(i64(1),)]) == {key(1, 2), key(1, 3)}
-    assert by_first[(i64(2),)] == [key(2, 3)]
+    assert list(by_first[(i64(2),)]) == [key(2, 3)]
     # Column `arity` is the output.
     by_out = table.index((2,))
     assert set(by_out[(i64(10),)]) == {key(1, 2), key(1, 3)}
@@ -79,16 +79,23 @@ def test_new_keys_handles_updates_removals_and_compaction():
     assert key(4) in set(table.new_keys(0))
 
 
-def test_index_cache_invalidates_on_write():
+def test_index_is_maintained_incrementally_on_write():
     table = make_table()
     table.put(key(1, 2), UNIT_VALUE, 0)
     first = table.index((0,))
-    # Unchanged table: the cached dict object is reused.
+    # The index is a live structure: the same object absorbs later writes.
     assert table.index((0,)) is first
     table.put(key(5, 6), UNIT_VALUE, 1)
-    second = table.index((0,))
-    assert second is not first
-    assert (i64(5),) in second
+    assert table.index((0,)) is first
+    assert (i64(5),) in first
+    table.remove(key(5, 6))
+    assert (i64(5),) not in first
+    # Overwriting an output updates projections that cover the output column.
+    out_table = make_table("f", 1, "i64")
+    out_table.put(key(1), i64(10), 0)
+    by_out = out_table.index((1,))
+    out_table.put(key(1), i64(20), 1)
+    assert (i64(10),) not in by_out and set(by_out[(i64(20),)]) == {key(1)}
 
 
 def test_rows_and_tuples_iteration():

@@ -355,6 +355,18 @@ def test_cli_stats_flag(tmp_path, capsys):
     assert "r=2" in capsys.readouterr().out
 
 
+def test_cli_stats_reports_rule_matches_and_phase_timings(tmp_path, capsys):
+    program = tmp_path / "ok.egg"
+    program.write_text(
+        "(relation e (i64 i64))\n(e 1 2)\n(e 2 3)\n(relation p (i64 i64))\n"
+        "(rule ((e x y)) ((p x y)) :name copy)\n(run 3)\n"
+    )
+    assert cli_main(["--stats", str(program)]) == 0
+    out = capsys.readouterr().out
+    assert "stats: phases: search" in out and "rebuild" in out
+    assert "stats: rule matches: copy=2" in out
+
+
 def test_cli_generic_strategy(tmp_path, capsys):
     program = tmp_path / "ok.egg"
     program.write_text(

@@ -1,0 +1,145 @@
+"""run-schedule combinators: engine semantics and frontend lowering."""
+
+import pytest
+
+from repro.core.terms import App, V
+from repro.engine import EGraph, Repeat, Rule, Run, Saturate, Seq, repeat, saturate, seq
+from repro.engine.actions import Expr
+from repro.frontend import Evaluator
+from repro.frontend.errors import EvalError, ParseError
+from repro.frontend.parser import RunScheduleCmd, parse_program
+
+
+def chain_engine(n=5, **kwargs):
+    egraph = EGraph(**kwargs)
+    egraph.relation("edge", ("i64", "i64"))
+    egraph.relation("path", ("i64", "i64"))
+    egraph.add_rules(
+        Rule(
+            facts=[App("edge", V("x"), V("y"))],
+            actions=[Expr(App("path", V("x"), V("y")))],
+            name="base",
+            ruleset="closure",
+        ),
+        Rule(
+            facts=[App("path", V("x"), V("y")), App("edge", V("y"), V("z"))],
+            actions=[Expr(App("path", V("x"), V("z")))],
+            name="step",
+            ruleset="closure",
+        ),
+    )
+    for i in range(n - 1):
+        egraph.add(App("edge", i, i + 1))
+    return egraph
+
+
+# -- engine combinators -------------------------------------------------------
+
+
+def test_saturate_runs_to_fixpoint():
+    egraph = chain_engine(6)
+    report = egraph.run_schedule(saturate(Run(1, "closure")))
+    assert report.saturated
+    # Full transitive closure of a 6-node chain: 15 pairs.
+    assert len(list(egraph.table_rows("path"))) == 15
+
+
+def test_repeat_bounds_passes_and_stops_early():
+    egraph = chain_engine(6)
+    bounded = egraph.run_schedule(repeat(2, Run(1, "closure")))
+    assert bounded.iterations == 2
+    assert not bounded.saturated
+    # A generous repeat saturates early rather than burning all passes.
+    rest = egraph.run_schedule(repeat(50, Run(1, "closure")))
+    assert rest.saturated
+    assert rest.iterations < 50
+
+
+def test_seq_composes_rulesets_in_order():
+    egraph = chain_engine(4)
+    egraph.relation("marked", ("i64",))
+    egraph.add_rule(
+        Rule(
+            facts=[App("path", 0, V("x"))],
+            actions=[Expr(App("marked", V("x")))],
+            name="mark",
+            ruleset="marking",
+        )
+    )
+    report = egraph.run_schedule(
+        seq(saturate(Run(1, "closure")), Run(1, "marking"))
+    )
+    assert report.iterations >= 4
+    marked = sorted(k[0].data for k, _v in egraph.table_rows("marked"))
+    assert marked == [1, 2, 3]
+
+
+def test_empty_saturate_terminates():
+    egraph = chain_engine(3)
+    report = egraph.scheduler.run_schedule(Saturate(()))
+    assert report.saturated and report.iterations == 0
+
+
+def test_schedule_sugar_defaults():
+    assert saturate() == Saturate((Run(),))
+    assert repeat(3) == Repeat(3, (Run(),))
+    assert seq(Run(2)) == Seq((Run(2),))
+
+
+# -- frontend -----------------------------------------------------------------
+
+
+PRELUDE = (
+    "(relation edge (i64 i64))\n(relation path (i64 i64))\n"
+    "(edge 1 2)\n(edge 2 3)\n(edge 3 4)\n"
+    "(rule ((edge x y)) ((path x y)) :name base :ruleset closure)\n"
+    "(rule ((path x y) (edge y z)) ((path x z)) :name step :ruleset closure)\n"
+)
+
+
+def test_parser_keeps_schedules_raw():
+    commands = parse_program("(run-schedule (saturate (run)) other)")
+    assert isinstance(commands[0], RunScheduleCmd)
+    assert len(commands[0].schedules) == 2
+
+
+def test_parser_rejects_empty_run_schedule():
+    with pytest.raises(ParseError, match="at least one schedule"):
+        parse_program("(run-schedule)")
+
+
+def test_run_schedule_saturates_and_reports():
+    lines = Evaluator().run_program(
+        PRELUDE + "(run-schedule (saturate (run :ruleset closure)))\n(check (path 1 4))\n"
+    )
+    assert lines[0].startswith("run-schedule:") and "saturated" in lines[0]
+    assert lines[1].startswith("check: ok")
+
+
+def test_run_schedule_bare_symbol_is_one_ruleset_iteration():
+    lines = Evaluator().run_program(PRELUDE + "(run-schedule closure)\n")
+    assert "1 iteration(s)" in lines[0]
+
+
+def test_run_schedule_run_with_limit_and_ruleset():
+    lines = Evaluator().run_program(
+        PRELUDE + "(run-schedule (repeat 2 (run 2 :ruleset closure)))\n"
+    )
+    assert lines[0].startswith("run-schedule:")
+
+
+@pytest.mark.parametrize(
+    "program, message",
+    [
+        ("(run-schedule (frobnicate (run)))", "unknown schedule combinator"),
+        ("(run-schedule nosuch)", "unknown ruleset"),
+        ("(run-schedule (run 1 :ruleset nosuch))", "unknown ruleset"),
+        ("(run-schedule (repeat 0 (run)))", "must be positive"),
+        ("(run-schedule (repeat))", "expects a count"),
+        ("(run-schedule (run 1 2))", "malformed schedule"),
+        ('(run-schedule "text")', "expected a schedule"),
+    ],
+)
+def test_run_schedule_errors_are_located(program, message):
+    with pytest.raises(EvalError, match=message):
+        Evaluator().run_program(PRELUDE + program)
