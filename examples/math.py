@@ -1,71 +1,75 @@
 """Equality saturation: prove ``a * 2`` equal to ``a << 1`` and extract it.
 
-This is the paper's equality-saturation side (Section 2): datatype
-constructors are functions whose outputs live in an uninterpreted sort, a
-``rewrite`` is sugar for a rule that unions the matched e-class with the
-right-hand side, and extraction picks the cheapest representative of an
-e-class by declared per-node costs (``Mul`` is deliberately expensive, the
-strength-reduced ``Shl`` cheap).
+This is the paper's equality-saturation side (Section 2), written in the
+embedded DSL: datatype constructors are typed function handles whose
+outputs live in an uninterpreted sort, ``(x * num(2)).to(x << num(1))`` is
+sugar for a rule that unions the matched e-class with the right-hand side,
+and extraction picks the cheapest representative of an e-class by declared
+per-node costs (``Mul`` is deliberately expensive, the strength-reduced
+``Shl`` cheap).
 
-Run with:  python examples/math.py
+Run with::
+
+    pip install -e .          # once (see README: Install & run)
+    python examples/math.py
 """
 
-import pathlib
+import os
 import sys
+from typing import Tuple
 
-# Replace (not prepend to) the script-directory entry: this file itself
-# would otherwise shadow the stdlib `math` module for transitive imports.
-sys.path[0] = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+# ``python examples/math.py`` prepends examples/ to sys.path, where this
+# very file would shadow the stdlib ``math`` module for transitive imports
+# (fractions -> math).  Drop that entry; the repro package itself comes
+# from the installed environment (``pip install -e .``), not a path hack.
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path[:] = [p for p in sys.path if os.path.abspath(p or os.getcwd()) != _HERE]
 
-from repro.core.terms import App, V  # noqa: E402
-from repro.core.values import I64, STRING  # noqa: E402
-from repro.engine import EGraph, rewrite  # noqa: E402
+from repro import EGraph, Function, vars_  # noqa: E402
+from repro.dsl import String, i64  # noqa: E402
 
 
-def build_engine() -> EGraph:
+def build_engine() -> Tuple[EGraph, Function, Function, Function, Function]:
     eg = EGraph()
-    eg.declare_sort("Math")
-    eg.constructor("Num", (I64,), "Math", cost=1)
-    eg.constructor("Var", (STRING,), "Math", cost=1)
-    eg.constructor("Add", ("Math", "Math"), "Math", cost=2)
-    eg.constructor("Mul", ("Math", "Math"), "Math", cost=4)
-    eg.constructor("Shl", ("Math", "Math"), "Math", cost=1)
+    math = eg.sort("Math")
+    num = eg.constructor("Num", (i64,), math)
+    sym = eg.constructor("Var", (String,), math)
+    eg.constructor("Add", (math, math), math, cost=2, op="+")
+    mul = eg.constructor("Mul", (math, math), math, cost=4, op="*")
+    shl = eg.constructor("Shl", (math, math), math, cost=1, op="<<")
 
-    eg.add_rules(
-        rewrite(App("Mul", V("x"), V("y")), App("Mul", V("y"), V("x")), name="mul-comm"),
-        rewrite(App("Add", V("x"), V("y")), App("Add", V("y"), V("x")), name="add-comm"),
+    x, y = vars_("x y", math)
+    eg.register(
+        (x * y).to(y * x, name="mul-comm"),
+        (x + y).to(y + x, name="add-comm"),
         # Strength reduction: x * 2  =>  x << 1
-        rewrite(
-            App("Mul", V("x"), App("Num", 2)),
-            App("Shl", V("x"), App("Num", 1)),
-            name="mul2-to-shl",
-        ),
+        (x * num(2)).to(x << num(1), name="mul2-to-shl"),
         # x * 1  =>  x
-        rewrite(App("Mul", V("x"), App("Num", 1)), V("x"), name="mul-identity"),
+        (x * num(1)).to(x, name="mul-identity"),
     )
-    return eg
+    return eg, num, sym, mul, shl
 
 
 def main() -> None:
-    eg = build_engine()
+    eg, num, sym, mul, shl = build_engine()
 
-    expr = App("Mul", App("Num", 2), App("Var", "a"))  # (* 2 a)
-    target = App("Shl", App("Var", "a"), App("Num", 1))  # (<< a 1)
+    expr = mul(num(2), sym("a"))  # (* 2 a)
+    target = shl(sym("a"), num(1))  # (<< a 1)
     eg.add(expr)
 
-    report = eg.run(limit=10)
+    report = eg.run(10)
     print(f"run: {report.summary()}")
     assert report.saturated, "this tiny ruleset must saturate"
 
     # check proves the equivalence (commutativity bridges (* 2 a) to (* a 2),
     # then strength reduction unions it with (<< a 1)).
-    eg.check_equal(expr, target)
-    print(f"proved: {expr} == {target}")
+    eg.check(expr == target)
+    print(f"proved: {expr!r} == {target!r}")
 
-    cost, best = eg.extract_with_cost(expr)
-    print(f"extracted: {best} at cost {cost}")
-    assert best == target, f"expected the shifted form, got {best}"
-    assert cost == 3  # Shl(1) + Var(1) + Num(1); the Mul form costs 6
+    best = eg.extract(expr)
+    print(f"extracted: {best.expr!r} at cost {best.cost}")
+    assert best.term == target.term, f"expected the shifted form, got {best}"
+    assert best.cost == 3  # Shl(1) + Var(1) + Num(1); the Mul form costs 6
     print("ok: extraction picked the strength-reduced term")
 
 

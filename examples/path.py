@@ -1,64 +1,64 @@
 """Transitive closure as Datalog with a ``min`` merge — shortest path lengths.
 
-This is the paper's flagship Datalog-side example (Section 2): ``path`` is
-not a relation but a *function* from node pairs to the best known path
-length, with ``merge="min"``.  Re-deriving a longer path is a no-op; a
-shorter one overwrites and (because the row's timestamp bumps) propagates
-through semi-naïve evaluation until the fixpoint.
+This is the paper's flagship Datalog-side example (Section 2), written in
+the embedded DSL: ``path`` is not a relation but a *function* from node
+pairs to the best known path length, declared with ``merge="min"``.
+Re-deriving a longer path is a no-op; a shorter one overwrites and
+(because the row's timestamp bumps) propagates through semi-naïve
+evaluation until the fixpoint.
 
-Run with:  python examples/path.py
+Run with::
+
+    pip install -e .          # once (see README: Install & run)
+    python examples/path.py
 """
 
-import pathlib
+import os
 import sys
+from typing import Tuple
 
-# Replace (not prepend to) the script-directory entry: this file's sibling
-# math.py would otherwise shadow the stdlib `math` module.
-sys.path[0] = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+# ``python examples/path.py`` prepends examples/ to sys.path, where the
+# sibling ``math.py`` would shadow the stdlib ``math`` module for
+# transitive imports (fractions -> math).  Drop that entry; the repro
+# package itself comes from the installed environment
+# (``pip install -e .``), not a path hack.
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path[:] = [p for p in sys.path if os.path.abspath(p or os.getcwd()) != _HERE]
 
-from repro.core.terms import App, L, V  # noqa: E402
-from repro.core.values import I64  # noqa: E402
-from repro.engine import EGraph, Rule, Set, eq  # noqa: E402
+from repro import EGraph, Function, rule, set_, vars_  # noqa: E402
+from repro.dsl import i64  # noqa: E402
 
 EDGES = [(1, 2), (2, 3), (3, 4), (1, 3), (4, 5), (5, 2)]
 
 
-def build_engine() -> EGraph:
+def build_engine() -> Tuple[EGraph, Function, Function]:
     eg = EGraph()
-    eg.relation("edge", (I64, I64))
-    eg.function("path", (I64, I64), I64, merge="min")
+    edge = eg.relation("edge", i64, i64)
+    path = eg.function("path", (i64, i64), i64, merge="min")
 
-    # (rule ((edge x y)) ((set (path x y) 1)))
-    eg.add_rule(
-        Rule(
-            name="edge-is-path",
-            facts=[App("edge", V("x"), V("y"))],
-            actions=[Set(App("path", V("x"), V("y")), L(1))],
-        )
+    x, y, z = vars_("x y z", i64)
+    (d,) = vars_("d", i64)
+    eg.register(
+        # (rule ((edge x y)) ((set (path x y) 1)))
+        rule(name="edge-is-path").when(edge(x, y)).then(set_(path(x, y), 1)),
+        # (rule ((= d (path x y)) (edge y z)) ((set (path x z) (+ d 1))))
+        rule(name="extend-path")
+        .when(d == path(x, y), edge(y, z))
+        .then(set_(path(x, z), d + 1)),
     )
-    # (rule ((= d (path x y)) (edge y z)) ((set (path x z) (+ d 1))))
-    eg.add_rule(
-        Rule(
-            name="extend-path",
-            facts=[eq(V("d"), App("path", V("x"), V("y"))), App("edge", V("y"), V("z"))],
-            actions=[Set(App("path", V("x"), V("z")), App("+", V("d"), L(1)))],
-        )
-    )
-    return eg
+    return eg, edge, path
 
 
 def main() -> None:
-    eg = build_engine()
+    eg, edge, path = build_engine()
     for a, b in EDGES:
-        eg.add(App("edge", a, b))
+        eg.add(edge(a, b))
 
-    report = eg.run(limit=100)
+    report = eg.run(100)
     print(f"run: {report.summary()}")
     assert report.saturated, "transitive closure must reach a fixpoint"
 
-    lengths = {
-        (key[0].data, key[1].data): value.data for key, value in eg.table_rows("path")
-    }
+    lengths = {(key[0].data, key[1].data): value.data for key, value in path.rows()}
     print(f"{len(lengths)} shortest path lengths:")
     for (src, dst), dist in sorted(lengths.items()):
         print(f"  path({src}, {dst}) = {dist}")

@@ -5,14 +5,66 @@ Zhang et al., PACMPL 7(PLDI), 2023) unifies Datalog and equality saturation
 in one fixpoint engine.  ``repro.core`` holds the substrate (union-find,
 functional database, query engines, primitives, terms); ``repro.engine``
 holds the engine itself (rules, actions, rebuilding, the semi-naïve
-scheduler, and the ``EGraph`` facade); ``repro.frontend`` implements the
-paper's textual .egg language on top (``python -m repro program.egg``).
+scheduler, and the string-level ``EGraph`` facade); ``repro.dsl`` is the
+blessed embedded surface — typed sort/function handles,
+operator-overloaded expressions, first-class rulesets — re-exported here
+(``repro.EGraph`` *is* ``repro.dsl.EGraph``); ``repro.frontend``
+implements the paper's textual .egg language on top
+(``python -m repro program.egg``).
 """
 
-from .engine import EGraph
+from .dsl import (
+    DslError,
+    EGraph,
+    Expr,
+    Extracted,
+    Function,
+    Rewrite,
+    Ruleset,
+    Sort,
+    delete,
+    eq,
+    let,
+    lit,
+    panic,
+    repeat,
+    rule,
+    saturate,
+    seq,
+    set_,
+    union,
+    var,
+    vars_,
+)
 from .errors import ReproError
 from .frontend import Evaluator, run_program
 
 __version__ = "0.1.0"
 
-__all__ = ["EGraph", "Evaluator", "ReproError", "run_program", "__version__"]
+__all__ = [
+    "DslError",
+    "EGraph",
+    "Evaluator",
+    "Expr",
+    "Extracted",
+    "Function",
+    "ReproError",
+    "Rewrite",
+    "Ruleset",
+    "Sort",
+    "delete",
+    "eq",
+    "let",
+    "lit",
+    "panic",
+    "repeat",
+    "rule",
+    "run_program",
+    "saturate",
+    "seq",
+    "set_",
+    "union",
+    "var",
+    "vars_",
+    "__version__",
+]

@@ -47,6 +47,10 @@ class FunctionDecl:
         unextractable: if True, extraction never picks this function.
         is_datatype_constructor: marks constructors introduced by
             ``datatype`` sugar (used by extraction and pretty printing).
+        decl_site: where the declaration came from — a ``file:line`` string
+            for embedded-DSL declarations, a source location for .egg
+            programs, or empty when unknown.  Surfaced in diagnostics so a
+            bad *use* can point back at its *declaration*.
     """
 
     name: str
@@ -57,6 +61,7 @@ class FunctionDecl:
     cost: int = 1
     unextractable: bool = False
     is_datatype_constructor: bool = False
+    decl_site: str = ""
 
     def __post_init__(self) -> None:
         self.arg_sorts = tuple(self.arg_sorts)

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, Tuple, Union
 
+from typing import Protocol, runtime_checkable
+
 from .values import Value, from_python
 
 
@@ -84,7 +86,21 @@ class TermApp(Term):
         return "(" + self.func + " " + " ".join(str(a) for a in self.args) + ")"
 
 
-TermLike = Union[Term, Value, int, float, str, bool]
+@runtime_checkable
+class SupportsTerm(Protocol):
+    """Anything that can lower itself to a :class:`Term`.
+
+    This is the coercion hook embedded surface languages plug into: an
+    object exposing ``__term__`` (e.g. a ``repro.dsl`` expression handle) is
+    accepted anywhere the engine takes a term — ``add``, ``union``,
+    ``rewrite``, action/fact constructors — without the engine depending on
+    the surface layer.
+    """
+
+    def __term__(self) -> "Term": ...
+
+
+TermLike = Union[Term, SupportsTerm, Value, int, float, str, bool]
 
 
 def V(name: str) -> TermVar:
@@ -107,9 +123,15 @@ def App(func: str, *args: TermLike) -> TermApp:
 
 
 def as_term(obj: TermLike) -> Term:
-    """Coerce a Python scalar, Value, or Term into a Term."""
+    """Coerce a Python scalar, Value, ``__term__`` provider, or Term to a Term."""
     if isinstance(obj, Term):
         return obj
+    lower = getattr(obj, "__term__", None)
+    if lower is not None:
+        term = lower()
+        if not isinstance(term, Term):
+            raise TypeError(f"__term__ of {obj!r} returned non-Term {term!r}")
+        return term
     if isinstance(obj, Value):
         return TermLit(obj)
     return TermLit(from_python(obj))

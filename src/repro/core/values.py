@@ -186,6 +186,23 @@ _LITERAL_COERCIONS = {
 }
 
 
+def register_literal_coercion(from_sort: str, to_sort: str, convert) -> None:
+    """Register a widening literal coercion ``from_sort -> to_sort``.
+
+    ``convert`` receives the literal's payload and returns a :class:`Value`
+    of ``to_sort``.  The registered pair extends the widening table that
+    :func:`coerce_literal` consults — which both the .egg evaluator and the
+    embedded DSL's literal lifting go through — so surface layers can teach
+    the core new interpreted sorts without the core importing them.
+    Re-registering a pair overwrites the previous conversion; coercions
+    between the same sort are rejected (they would shadow the exact-match
+    fast path).
+    """
+    if from_sort == to_sort:
+        raise ValueError(f"literal coercion {from_sort!r} -> itself is not allowed")
+    _LITERAL_COERCIONS[(from_sort, to_sort)] = convert
+
+
 def coerce_literal(value: Value, sort_name: str) -> "Value | None":
     """Adapt a literal value to ``sort_name``; None if no sound coercion.
 

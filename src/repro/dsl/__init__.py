@@ -1,0 +1,126 @@
+"""The embedded Python DSL: the blessed surface for building on egglog.
+
+Where the string-level API (``repro.engine``) spells everything with names
+— ``App("Mul", V("x"), App("Num", 2))`` — the DSL works with typed
+*handles* that catch typos at the line that makes them::
+
+    from repro import EGraph, vars_, rule, set_
+    from repro.dsl import i64, String
+
+    eg = EGraph()
+    math = eg.sort("Math")
+    num = eg.constructor("Num", (i64,), math)
+    mul = eg.constructor("Mul", (math, math), math, cost=4, op="*")
+    shl = eg.constructor("Shl", (math, math), math, cost=1, op="<<")
+
+    x, y = vars_("x y", math)
+    eg.register(
+        (x * y).to(y * x),                         # commutativity
+        (x * num(2)).to(x << num(1)),              # strength reduction
+    )
+
+    expr = mul(num(2), num(21))
+    eg.add(expr)
+    eg.run(10)
+    eg.check(expr == num(21) << num(1))
+    print(eg.extract(expr))                        # cheapest equivalent term
+
+Everything lowers onto the engine's term IR; the wrapped string-level
+engine stays reachable as ``eg.engine``.  See ``docs/API.md`` for the full
+guide with side-by-side ``.egg`` and Python spellings.
+"""
+
+from ..engine.errors import CheckError
+from ..engine.schedule import (
+    Repeat,
+    Run,
+    Saturate,
+    Schedule,
+    Seq,
+    repeat,
+    saturate,
+    seq,
+)
+from .egraph import EGraph, Extracted
+from .errors import (
+    ArityError,
+    DslError,
+    DuplicateDeclarationError,
+    SortMismatchError,
+    StaleHandleError,
+    UnboundVariableError,
+    UnknownSortError,
+)
+from .expr import (
+    Bool,
+    Expr,
+    Function,
+    Rational,
+    Sort,
+    String,
+    Unit,
+    expr_repr,
+    f64,
+    i64,
+    lit,
+    var,
+    vars_,
+)
+from .rules import (
+    Eq,
+    Rewrite,
+    RuleBuilder,
+    Ruleset,
+    delete,
+    eq,
+    let,
+    panic,
+    rule,
+    set_,
+    union,
+)
+
+__all__ = [
+    "ArityError",
+    "Bool",
+    "CheckError",
+    "DslError",
+    "DuplicateDeclarationError",
+    "EGraph",
+    "Eq",
+    "Expr",
+    "Extracted",
+    "Function",
+    "Rational",
+    "Repeat",
+    "Rewrite",
+    "RuleBuilder",
+    "Ruleset",
+    "Run",
+    "Saturate",
+    "Schedule",
+    "Seq",
+    "Sort",
+    "SortMismatchError",
+    "StaleHandleError",
+    "String",
+    "UnboundVariableError",
+    "Unit",
+    "UnknownSortError",
+    "delete",
+    "eq",
+    "expr_repr",
+    "f64",
+    "i64",
+    "let",
+    "lit",
+    "panic",
+    "repeat",
+    "rule",
+    "saturate",
+    "seq",
+    "set_",
+    "union",
+    "var",
+    "vars_",
+]

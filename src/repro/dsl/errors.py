@@ -1,0 +1,47 @@
+"""Diagnostics for the embedded DSL.
+
+Every mistake the DSL catches is reported *before* the engine runs —
+ideally at the line that made it — and the message carries the declaration
+site of the handle involved (``declared at file:line``), so a wrong call in
+one module points back at the ``eg.function(...)`` in another.
+
+All errors derive from :class:`DslError`, which itself derives from the
+package-wide :class:`repro.errors.ReproError`, so embedders catching engine
+errors catch DSL errors too.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class DslError(ReproError):
+    """Base class for all embedded-DSL errors."""
+
+
+class UnknownSortError(DslError):
+    """A declaration referenced a sort this engine has never seen.
+
+    Raised for misspelled sort names and for :class:`~repro.dsl.Sort`
+    handles that belong to a *different* ``EGraph`` instance.
+    """
+
+
+class SortMismatchError(DslError):
+    """An expression of one sort was used where another sort was expected."""
+
+
+class ArityError(DslError):
+    """A function handle was called with the wrong number of arguments."""
+
+
+class UnboundVariableError(DslError):
+    """A rule's right-hand side used a variable its body never binds."""
+
+
+class DuplicateDeclarationError(DslError):
+    """A sort, function, or operator was declared twice under one name."""
+
+
+class StaleHandleError(DslError):
+    """A handle outlived its declaration (e.g. the declaring push was popped)."""

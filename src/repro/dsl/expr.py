@@ -1,0 +1,487 @@
+"""Typed handles and expression nodes for the embedded DSL.
+
+Three kinds of objects make up the DSL's expression layer:
+
+* :class:`Sort` — a handle returned by ``eg.sort("Math")`` (or one of the
+  built-in handles ``i64``, ``f64``, ``Bool``, ``String``, ``Unit``,
+  ``Rational``).  Eq-sorts carry an *operator table* so ``x * y`` can
+  dispatch to a declared function (``eg.function("Mul", ..., op="*")``).
+* :class:`Function` — a callable handle returned by ``eg.function`` /
+  ``eg.relation`` / ``eg.constructor``.  Calling it arity- and sort-checks
+  the arguments (with literal widening, e.g. ``i64 -> f64``) and builds an
+  expression node.
+* :class:`Expr` — a :class:`~repro.core.terms.Term` paired with its
+  inferred :class:`Sort`.  Python operators build bigger expressions
+  (``x + y``, ``x < y``), ``==`` builds an equality *fact*, and
+  ``.to(rhs)`` builds a rewrite.
+
+Everything lowers to the existing ``repro.core.terms`` IR: an ``Expr`` is
+accepted anywhere the engine takes a term because it implements the
+``__term__`` coercion hook (:data:`repro.core.terms.TermLike`).
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple, Union
+
+from ..core.builtins import PrimitiveRegistry, default_registry
+from ..core.schema import FunctionDecl
+from ..core.terms import Term, TermApp, TermLit, TermVar
+from ..core.values import Value, coerce_literal, from_python
+from .errors import (
+    ArityError,
+    DslError,
+    DuplicateDeclarationError,
+    SortMismatchError,
+    StaleHandleError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .egraph import EGraph
+    from .rules import Eq, Rewrite
+
+
+def caller_site() -> str:
+    """``file:line`` of the nearest stack frame outside the DSL package.
+
+    Used to stamp handles with their declaration site so later misuse
+    (wrong arity, stale handle, duplicate operator) can point back at the
+    line that declared them.  The path is shortened to its last two
+    components — enough to identify the file without leaking absolute
+    paths into error messages.
+    """
+    for frame in reversed(traceback.extract_stack()):
+        path = frame.filename.replace("\\", "/")
+        # Skip our own frames and synthetic interpreter frames, but keep
+        # user-visible pseudo-files: a REPL/exec declaration still gets
+        # "<stdin>:12" rather than "<unknown>".
+        if "/repro/dsl/" in path or path.startswith("<frozen"):
+            continue
+        parts = [part for part in path.split("/") if part]
+        return "/".join(parts[-2:]) + f":{frame.lineno}"
+    return "<unknown>"
+
+
+def expr_repr(term: Term) -> str:
+    """Render a core term in DSL call syntax: ``Mul(Num(2), Var('a'))``.
+
+    Variables print bare, literals as their Python payloads.  This is the
+    canonical DSL notation: rebuilding an expression through handles and
+    rendering it again yields the same string (the round-trip property the
+    test suite checks).
+    """
+    if isinstance(term, TermVar):
+        return term.name
+    if isinstance(term, TermLit):
+        return repr(term.value.data)
+    if isinstance(term, TermApp):
+        return f"{term.func}({', '.join(expr_repr(a) for a in term.args)})"
+    raise DslError(f"cannot render {term!r} as a DSL expression")
+
+
+#: Operator symbols a declared function may be bound to via ``op=``.
+#: Binary symbols dispatch from the corresponding dunder on :class:`Expr`;
+#: ``neg`` is unary ``-``.
+SUPPORTED_OPERATORS = frozenset(
+    {"+", "-", "*", "/", "%", "<<", ">>", "<", "<=", ">", ">=", "neg"}
+)
+
+
+class Sort:
+    """A handle to a sort known to one :class:`~repro.dsl.EGraph`.
+
+    ``owner`` is the declaring ``EGraph`` (``None`` for the shared built-in
+    handles), ``decl_site`` the ``file:line`` of the declaration.  Eq-sorts
+    additionally hold the operator table that ``Expr`` dunders dispatch
+    through.
+    """
+
+    __slots__ = ("name", "is_eq_sort", "owner", "decl_site", "_ops")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        is_eq_sort: bool,
+        owner: Optional["EGraph"] = None,
+        decl_site: str = "<builtin>",
+    ) -> None:
+        self.name = name
+        self.is_eq_sort = is_eq_sort
+        self.owner = owner
+        self.decl_site = decl_site
+        self._ops: Dict[str, "Function"] = {}
+
+    def operator(self, symbol: str) -> Optional["Function"]:
+        """The function bound to ``symbol`` on this sort, if any."""
+        return self._ops.get(symbol)
+
+    def bind_operator(self, symbol: str, fn: "Function") -> None:
+        """Bind ``symbol`` (e.g. ``"*"``) to a declared function handle."""
+        if symbol not in SUPPORTED_OPERATORS:
+            raise DslError(
+                f"cannot bind operator {symbol!r} on sort {self.name!r}; "
+                f"supported operators: {', '.join(sorted(SUPPORTED_OPERATORS))}"
+            )
+        existing = self._ops.get(symbol)
+        if existing is not None:
+            raise DuplicateDeclarationError(
+                f"sort {self.name!r} already binds operator {symbol!r} to "
+                f"{existing.name!r} (declared at {existing.decl_site})"
+            )
+        self._ops[symbol] = fn
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        kind = "eq-sort" if self.is_eq_sort else "primitive"
+        return f"<Sort {self.name} ({kind})>"
+
+
+#: Shared handles for the engine's built-in primitive sorts.  These belong
+#: to no particular ``EGraph`` and may be used in any declaration.
+i64 = Sort("i64", is_eq_sort=False)
+f64 = Sort("f64", is_eq_sort=False)
+Bool = Sort("bool", is_eq_sort=False)
+String = Sort("String", is_eq_sort=False)
+Unit = Sort("Unit", is_eq_sort=False)
+Rational = Sort("Rational", is_eq_sort=False)
+
+BUILTIN_SORT_HANDLES: Dict[str, Sort] = {
+    s.name: s for s in (i64, f64, Bool, String, Unit, Rational)
+}
+
+SortLike = Union[Sort, str]
+
+#: Registry used only for *sort inference* of primitive applications
+#: (``+``, ``<``, ...).  Inference is static; evaluation always goes
+#: through the owning engine's registry.
+_PRIM_SORTS: PrimitiveRegistry = default_registry()
+
+
+def builtin_sort_handle(name: str) -> Sort:
+    """The shared handle for a primitive sort name (created on demand)."""
+    handle = BUILTIN_SORT_HANDLES.get(name)
+    if handle is None:
+        handle = Sort(name, is_eq_sort=False)
+        BUILTIN_SORT_HANDLES[name] = handle
+    return handle
+
+
+class Expr:
+    """A sorted expression node: a core :class:`Term` plus its :class:`Sort`.
+
+    Built by calling :class:`Function` handles, by :func:`var`/:func:`vars_`
+    binders, by :func:`lit`, or by Python operators on existing nodes.
+    ``==`` produces an equality fact (:class:`repro.dsl.rules.Eq`), ``!=``
+    and the comparisons produce Bool-sorted guard expressions, and
+    ``.to(rhs)`` produces a :class:`~repro.dsl.rules.Rewrite`.
+    """
+
+    __slots__ = ("term", "sort")
+
+    def __init__(self, term: Term, sort: Sort) -> None:
+        if not isinstance(term, Term):
+            raise DslError(f"Expr needs a core Term, got {term!r}")
+        self.term = term
+        self.sort = sort
+
+    def __term__(self) -> Term:
+        """The ``repro.core.terms`` coercion hook: lower to the core IR."""
+        return self.term
+
+    def variables(self) -> Iterator[str]:
+        return self.term.variables()
+
+    def is_ground(self) -> bool:
+        return self.term.is_ground()
+
+    # -- operators ----------------------------------------------------------
+
+    def _binary(self, symbol: str, other: object, *, reflected: bool = False) -> "Expr":
+        if self.sort.is_eq_sort:
+            fn = self.sort.operator(symbol)
+            if fn is None:
+                raise DslError(
+                    f"sort {self.sort.name!r} has no {symbol!r} operator; declare a "
+                    f"function with op={symbol!r} to enable it "
+                    f"[sort declared at {self.sort.decl_site}]"
+                )
+            return fn(other, self) if reflected else fn(self, other)
+        rhs = lift(other, self.sort, f"{symbol!r} operand")
+        lhs, rhs = (rhs, self) if reflected else (self, rhs)
+        out_name = _PRIM_SORTS.result_sort(symbol, (lhs.sort.name, rhs.sort.name))
+        if out_name is None:
+            raise SortMismatchError(
+                f"primitive {symbol!r} is not defined on ({lhs.sort}, {rhs.sort})"
+            )
+        return Expr(TermApp(symbol, (lhs.term, rhs.term)), builtin_sort_handle(out_name))
+
+    def __add__(self, other: object) -> "Expr":
+        return self._binary("+", other)
+
+    def __radd__(self, other: object) -> "Expr":
+        return self._binary("+", other, reflected=True)
+
+    def __sub__(self, other: object) -> "Expr":
+        return self._binary("-", other)
+
+    def __rsub__(self, other: object) -> "Expr":
+        return self._binary("-", other, reflected=True)
+
+    def __mul__(self, other: object) -> "Expr":
+        return self._binary("*", other)
+
+    def __rmul__(self, other: object) -> "Expr":
+        return self._binary("*", other, reflected=True)
+
+    def __truediv__(self, other: object) -> "Expr":
+        return self._binary("/", other)
+
+    def __rtruediv__(self, other: object) -> "Expr":
+        return self._binary("/", other, reflected=True)
+
+    def __mod__(self, other: object) -> "Expr":
+        return self._binary("%", other)
+
+    def __lshift__(self, other: object) -> "Expr":
+        return self._binary("<<", other)
+
+    def __rshift__(self, other: object) -> "Expr":
+        return self._binary(">>", other)
+
+    def __lt__(self, other: object) -> "Expr":
+        return self._binary("<", other)
+
+    def __le__(self, other: object) -> "Expr":
+        return self._binary("<=", other)
+
+    def __gt__(self, other: object) -> "Expr":
+        return self._binary(">", other)
+
+    def __ge__(self, other: object) -> "Expr":
+        return self._binary(">=", other)
+
+    def __neg__(self) -> "Expr":
+        if self.sort.is_eq_sort:
+            fn = self.sort.operator("neg")
+            if fn is None:
+                raise DslError(
+                    f"sort {self.sort.name!r} has no unary '-' operator; declare a "
+                    f"function with op=\"neg\" to enable it "
+                    f"[sort declared at {self.sort.decl_site}]"
+                )
+            return fn(self)
+        out_name = _PRIM_SORTS.result_sort("neg", (self.sort.name,))
+        if out_name is None:
+            raise SortMismatchError(f"unary '-' is not defined on sort {self.sort}")
+        return Expr(TermApp("neg", (self.term,)), builtin_sort_handle(out_name))
+
+    def __eq__(self, other: object) -> "Eq":  # type: ignore[override]
+        """``lhs == rhs`` builds an equality *fact* for rule bodies / checks."""
+        from .rules import Eq
+
+        return Eq(self, lift(other, self.sort, "'==' right-hand side"))
+
+    def __ne__(self, other: object) -> "Expr":  # type: ignore[override]
+        """``lhs != rhs`` builds a Bool-sorted disequality guard."""
+        rhs = lift(other, self.sort, "'!=' right-hand side")
+        return Expr(TermApp("!=", (self.term, rhs.term)), builtin_sort_handle("bool"))
+
+    # Identity hashing: ``__eq__`` builds facts rather than comparing, so
+    # the default value-equality contract is intentionally broken.
+    __hash__ = object.__hash__
+
+    def __bool__(self) -> bool:
+        raise DslError(
+            f"a DSL expression ({self!r}) has no truth value; comparisons and "
+            f"disequalities build guard expressions for rule bodies — pass "
+            f"them to when()/check() instead of using them in a boolean "
+            f"context"
+        )
+
+    def to(
+        self,
+        rhs: object,
+        *conditions: object,
+        name: Optional[str] = None,
+        bidirectional: bool = False,
+    ) -> "Rewrite":
+        """``lhs.to(rhs, *conditions)``: a rewrite unioning lhs with rhs."""
+        from .rules import Rewrite
+
+        return Rewrite(
+            self, rhs, conditions, name=name, bidirectional=bidirectional
+        )
+
+    def __repr__(self) -> str:
+        return expr_repr(self.term)
+
+
+ExprLike = Union[Expr, Term, Value, int, float, str, bool]
+
+
+def lift(obj: object, expected: Sort, context: str, *, owner: str = "") -> Expr:
+    """Coerce ``obj`` into an :class:`Expr` of sort ``expected``.
+
+    Accepts existing expressions (sort-checked, literals widened via
+    :func:`repro.core.values.coerce_literal`), raw core terms (trusted —
+    the interop escape hatch), and plain Python scalars (lifted to
+    literals).  ``owner`` is an optional ``[declared at ...]`` suffix for
+    diagnostics.
+    """
+    suffix = f" {owner}" if owner else ""
+    if isinstance(obj, Expr):
+        if obj.sort.name == expected.name:
+            return obj
+        if isinstance(obj.term, TermLit):
+            coerced = coerce_literal(obj.term.value, expected.name)
+            if coerced is not None:
+                return Expr(TermLit(coerced), expected)
+        raise SortMismatchError(
+            f"{context}: expected sort {expected.name!r}, got {obj.sort.name!r} "
+            f"expression {obj!r}{suffix}"
+        )
+    if isinstance(obj, Term):
+        # Raw core terms carry no sort; trust the caller (interop path).
+        return Expr(obj, expected)
+    if isinstance(obj, Value):
+        coerced = coerce_literal(obj, expected.name)
+        if coerced is None:
+            raise SortMismatchError(
+                f"{context}: expected sort {expected.name!r}, got value {obj!r}{suffix}"
+            )
+        return Expr(TermLit(coerced), expected)
+    if expected.is_eq_sort:
+        raise SortMismatchError(
+            f"{context}: expected a {expected.name!r} expression, got plain "
+            f"{type(obj).__name__} {obj!r} — apply one of the sort's constructors{suffix}"
+        )
+    try:
+        value = from_python(obj)
+    except TypeError as exc:
+        raise SortMismatchError(f"{context}: {exc}{suffix}") from None
+    coerced = coerce_literal(value, expected.name)
+    if coerced is None:
+        raise SortMismatchError(
+            f"{context}: expected sort {expected.name!r}, got {type(obj).__name__} "
+            f"literal {obj!r} (sort {value.sort!r}){suffix}"
+        )
+    return Expr(TermLit(coerced), expected)
+
+
+class Function:
+    """A callable handle to a declared function, relation, or constructor.
+
+    Calling the handle checks arity and argument sorts *at the call site*
+    and returns an :class:`Expr` of the declared output sort.  The handle
+    stays pinned to the :class:`~repro.core.schema.FunctionDecl` it was
+    created with: if the declaration disappears (popped snapshot), calls
+    raise :class:`StaleHandleError` instead of silently rebuilding terms
+    for a function the engine no longer knows.
+    """
+
+    __slots__ = ("_egraph", "decl", "arg_sorts", "out_sort", "decl_site")
+
+    def __init__(
+        self,
+        egraph: "EGraph",
+        decl: FunctionDecl,
+        arg_sorts: Tuple[Sort, ...],
+        out_sort: Sort,
+        decl_site: str,
+    ) -> None:
+        self._egraph = egraph
+        self.decl = decl
+        self.arg_sorts = arg_sorts
+        self.out_sort = out_sort
+        self.decl_site = decl_site
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_sorts)
+
+    def signature(self) -> str:
+        args = ", ".join(s.name for s in self.arg_sorts)
+        return f"{self.name}({args}) -> {self.out_sort.name}"
+
+    def _check_live(self) -> None:
+        if self._egraph.engine.decls.get(self.name) is not self.decl:
+            raise StaleHandleError(
+                f"function {self.name!r} (declared at {self.decl_site}) no longer "
+                f"exists on this EGraph — its declaration was popped or replaced"
+            )
+
+    def __call__(self, *args: object) -> Expr:
+        self._check_live()
+        if len(args) != self.arity:
+            raise ArityError(
+                f"{self.name} expects {self.arity} argument(s) — "
+                f"{self.signature()} — got {len(args)} "
+                f"[declared at {self.decl_site}]"
+            )
+        owner = f"[{self.name} declared at {self.decl_site}]"
+        lowered = tuple(
+            lift(arg, sort, f"{self.name} argument {i + 1}", owner=owner).term
+            for i, (arg, sort) in enumerate(zip(args, self.arg_sorts))
+        )
+        return Expr(TermApp(self.name, lowered), self.out_sort)
+
+    def rows(self) -> Iterator[Tuple[Tuple[Value, ...], Value]]:
+        """Iterate the function's current ``(args, output)`` database rows."""
+        self._check_live()
+        yield from self._egraph.engine.table_rows(self.name)
+
+    def __len__(self) -> int:
+        self._check_live()
+        return len(self._egraph.engine.tables[self.name])
+
+    def __repr__(self) -> str:
+        return f"<Function {self.signature()} at {self.decl_site}>"
+
+
+def var(name: str, sort: Sort) -> Expr:
+    """A pattern variable of the given sort."""
+    if not name or not isinstance(name, str):
+        raise DslError(f"variable name must be a non-empty string, got {name!r}")
+    if name.startswith("$"):
+        raise DslError(f"variable names starting with '$' are reserved, got {name!r}")
+    return Expr(TermVar(name), sort)
+
+
+def vars_(names: str, sort: Sort) -> Tuple[Expr, ...]:
+    """Bind several pattern variables at once: ``x, y = vars_("x y", Math)``.
+
+    ``names`` is split on whitespace and commas.  Always returns a tuple,
+    even for a single name.
+    """
+    parts = [p for p in names.replace(",", " ").split() if p]
+    if not parts:
+        raise DslError(f"vars_ needs at least one variable name, got {names!r}")
+    if len(set(parts)) != len(parts):
+        raise DslError(f"vars_ got a repeated variable name in {names!r}")
+    return tuple(var(p, sort) for p in parts)
+
+
+def lit(value: object, sort: Optional[Sort] = None) -> Expr:
+    """Lift a Python scalar to a literal expression (optionally coerced).
+
+    Without ``sort`` the literal's sort follows the Python type (int ->
+    i64, float -> f64, ...); with ``sort`` the usual widening coercions
+    apply (``lit(1, f64)`` is the f64 literal ``1.0``).
+    """
+    if isinstance(value, Expr):
+        return value if sort is None else lift(value, sort, "lit")
+    try:
+        v = from_python(value)  # type: ignore[arg-type]
+    except TypeError as exc:
+        raise SortMismatchError(f"lit: {exc}") from None
+    if sort is None:
+        return Expr(TermLit(v), builtin_sort_handle(v.sort))
+    return lift(v, sort, "lit")

@@ -23,7 +23,7 @@ expressions and an e-graph engine whose rewrites are rules):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.builtins import PrimitiveRegistry, default_registry
 from ..core.database import Table
@@ -45,9 +45,13 @@ from .scheduler import Scheduler
 
 Key = Tuple[Value, ...]
 
+#: Signature shared by the search strategies (``search_generic`` takes an
+#: extra keyword, hence the permissive parameter spec).
+SearchFn = Callable[..., Iterator[Substitution]]
+
 #: Available join strategies for query search (Section 5.1: any relational
 #: join algorithm implements e-matching over the canonical database).
-SEARCH_STRATEGIES = {
+SEARCH_STRATEGIES: Dict[str, SearchFn] = {
     "indexed": search_indexed,
     "generic": search_generic,
     "generic-adhoc": search_generic_adhoc,
@@ -130,16 +134,20 @@ class EGraph:
         cost: int = 1,
         unextractable: bool = False,
         is_datatype_constructor: bool = False,
+        decl_site: str = "",
     ) -> FunctionDecl:
         """Declare a function symbol backed by a database table (§3.2).
 
         ``merge`` may be ``None`` (union for eq-sorted outputs, error
         otherwise — the paper's defaults), the strings ``"union"`` or
         ``"error"``, the name of a binary primitive (e.g. ``"min"``), or a
-        callable ``(old, new) -> Value``.
+        callable ``(old, new) -> Value``.  ``decl_site`` is free-form
+        provenance (``file:line``) echoed in later diagnostics.
         """
         if name in self.decls:
-            raise EGraphError(f"function {name!r} already declared")
+            existing = self.decls[name]
+            where = f" (at {existing.decl_site})" if existing.decl_site else ""
+            raise EGraphError(f"function {name!r} already declared{where}")
         if name in self.registry:
             raise EGraphError(f"function {name!r} collides with a primitive")
         for sort_name in tuple(arg_sorts) + (out_sort,):
@@ -154,23 +162,37 @@ class EGraph:
             cost=cost,
             unextractable=unextractable,
             is_datatype_constructor=is_datatype_constructor,
+            decl_site=decl_site,
         )
         self.decls[name] = decl
         self.tables[name] = Table(decl)
         return decl
 
-    def relation(self, name: str, arg_sorts: Sequence[str]) -> FunctionDecl:
+    def relation(
+        self, name: str, arg_sorts: Sequence[str], *, decl_site: str = ""
+    ) -> FunctionDecl:
         """Declare a Datalog-style relation: a function with Unit output."""
-        return self.function(name, arg_sorts, UNIT)
+        return self.function(name, arg_sorts, UNIT, decl_site=decl_site)
 
     def constructor(
-        self, name: str, arg_sorts: Sequence[str], out_sort: str, *, cost: int = 1
+        self,
+        name: str,
+        arg_sorts: Sequence[str],
+        out_sort: str,
+        *,
+        cost: int = 1,
+        decl_site: str = "",
     ) -> FunctionDecl:
         """Declare a datatype constructor (eq-sorted output, union merge)."""
         if not self.sorts.get(out_sort, EqSort("")).is_eq_sort or out_sort not in self.sorts:
             raise EGraphError(f"constructor {name!r} needs an eq-sort output, got {out_sort!r}")
         return self.function(
-            name, arg_sorts, out_sort, cost=cost, is_datatype_constructor=True
+            name,
+            arg_sorts,
+            out_sort,
+            cost=cost,
+            is_datatype_constructor=True,
+            decl_site=decl_site,
         )
 
     def _normalize_merge(self, name: str, merge: object, out_sort: str) -> object:
