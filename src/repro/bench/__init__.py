@@ -14,10 +14,23 @@ PR measurable:
   ``BENCH_<name>.json`` per workload, including the index-vs-baseline
   comparison.
 
-Run ``python -m repro.bench --quick`` for a CI-sized smoke pass.
+* :mod:`repro.bench.compare` — the regression gate: compares fresh BENCH
+  medians against the committed files and fails past a tolerance factor
+  (CI runs it on every push).
+
+Run ``python -m repro.bench --quick`` for a CI-sized smoke pass,
+``python -m repro.bench --profile --only <name>`` to profile a workload
+before optimizing it.
 """
 
-from .runner import DEFAULT_VARIANTS, SCHEMA, run_suite, run_workload
+from .runner import (
+    DEFAULT_VARIANTS,
+    SCHEMA,
+    median_run_s,
+    profile_workload,
+    run_suite,
+    run_workload,
+)
 from .workloads import Workload, default_workloads
 
 __all__ = [
@@ -25,6 +38,8 @@ __all__ = [
     "SCHEMA",
     "Workload",
     "default_workloads",
+    "median_run_s",
+    "profile_workload",
     "run_suite",
     "run_workload",
 ]

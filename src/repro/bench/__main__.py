@@ -6,6 +6,7 @@ Examples::
     python -m repro.bench --quick         # CI-smoke sizes, 1 repeat
     python -m repro.bench --only tc       # transitive-closure workloads only
     python -m repro.bench --variants generic-index,generic-adhoc
+    python -m repro.bench --profile --only math   # cProfile instead of timing
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .runner import DEFAULT_VARIANTS, run_suite
+from .runner import DEFAULT_VARIANTS, profile_workload, run_suite
 from .workloads import default_workloads
 
 
@@ -67,6 +68,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list workload names and exit",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each selected workload (top-20 cumulative functions) "
+        "instead of timing; profiles the first selected variant's strategy",
+    )
     return parser
 
 
@@ -98,6 +105,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if repeats < 1:
         print("error: --repeats must be positive", file=sys.stderr)
         return 1
+    if args.profile:
+        strategy = next(iter(variants.values()))
+        for workload in workloads:
+            profile_workload(workload, strategy)
+        return 0
     run_suite(
         workloads,
         variants=variants,

@@ -1,0 +1,154 @@
+"""Bench regression gate: compare fresh BENCH_*.json against committed ones.
+
+``python -m repro.bench.compare NEW_DIR [--against DIR] [--tolerance 1.5]``
+
+For every ``BENCH_<name>.json`` present in both directories and measured
+with the same workload parameters, the median ``run_s`` of each shared
+variant is compared: the gate fails when a fresh median exceeds the
+committed median by more than the tolerance factor.  Semantic drift
+(different ``matches``/``iterations``/``saturated``) also fails — the
+numbers are only comparable when the engine did the same work, and a PR
+that legitimately changes workload semantics must refresh the committed
+BENCH files in the same change.
+
+Readers are tolerant of schema v1 documents (no ``run_s_stats``); see
+:func:`repro.bench.runner.median_run_s`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from .runner import median_run_s
+
+#: Per-variant fields that must agree for run times to be comparable.
+SEMANTIC_FIELDS = ("matches", "iterations", "saturated")
+
+
+def compare_documents(
+    committed: Dict[str, object],
+    fresh: Dict[str, object],
+    tolerance: float,
+) -> List[str]:
+    """Problems found comparing one workload's documents (empty = pass)."""
+    name = fresh.get("name", "?")
+    problems: List[str] = []
+    if committed.get("params") != fresh.get("params"):
+        return [
+            f"{name}: workload parameters changed "
+            f"({committed.get('params')} -> {fresh.get('params')}); "
+            f"refresh the committed BENCH file in this change"
+        ]
+    committed_variants = committed.get("variants")
+    fresh_variants = fresh.get("variants")
+    if not isinstance(committed_variants, dict) or not isinstance(fresh_variants, dict):
+        return [f"{name}: malformed document (no variants block)"]
+    # Every committed variant must still be measured — otherwise a variant
+    # rename/removal would make the gate pass vacuously (new variants in
+    # the fresh run are fine; they land on the next refresh).
+    missing = sorted(set(committed_variants) - set(fresh_variants))
+    if missing:
+        problems.append(
+            f"{name}: variant(s) {', '.join(missing)} missing from the fresh "
+            f"run; refresh the committed BENCH file if this is intentional"
+        )
+    for variant in sorted(set(committed_variants) & set(fresh_variants)):
+        old = committed_variants[variant]
+        new = fresh_variants[variant]
+        for field in SEMANTIC_FIELDS:
+            if old.get(field) != new.get(field):
+                problems.append(
+                    f"{name}/{variant}: {field} changed "
+                    f"({old.get(field)} -> {new.get(field)}); run times are "
+                    f"not comparable — refresh the committed BENCH file"
+                )
+                break
+        else:
+            old_s = median_run_s(old)
+            new_s = median_run_s(new)
+            if old_s > 0 and new_s > old_s * tolerance:
+                problems.append(
+                    f"{name}/{variant}: median run_s regressed "
+                    f"{new_s / old_s:.2f}x ({old_s * 1000:.1f}ms -> "
+                    f"{new_s * 1000:.1f}ms, tolerance {tolerance:.2f}x)"
+                )
+    return problems
+
+
+def compare_dirs(
+    new_dir: Path,
+    against_dir: Path,
+    *,
+    tolerance: float = 1.5,
+    log: Callable[[str], None] = print,
+) -> int:
+    """Compare every matching BENCH file; returns a process exit code."""
+    fresh_paths = sorted(new_dir.glob("BENCH_*.json"))
+    if not fresh_paths:
+        log(f"error: no BENCH_*.json files in {new_dir}")
+        return 1
+    compared = 0
+    failures: List[str] = []
+    for fresh_path in fresh_paths:
+        committed_path = against_dir / fresh_path.name
+        if not committed_path.exists():
+            log(f"note: {fresh_path.name} has no committed counterpart; skipping")
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        committed = json.loads(committed_path.read_text())
+        problems = compare_documents(committed, fresh, tolerance)
+        compared += 1
+        if problems:
+            failures.extend(problems)
+            for problem in problems:
+                log(f"FAIL {problem}")
+        else:
+            summary = ", ".join(
+                f"{variant}={median_run_s(entry) * 1000:.1f}ms"
+                for variant, entry in fresh["variants"].items()
+            )
+            log(f"ok   {fresh['name']}: {summary}")
+    if compared == 0:
+        log("error: nothing to compare (no overlapping BENCH files)")
+        return 1
+    if failures:
+        log(f"{len(failures)} regression problem(s) across {compared} workload(s)")
+        return 1
+    log(f"all {compared} workload(s) within {tolerance:.2f}x of committed medians")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Fail when fresh BENCH medians regress past committed ones.",
+    )
+    parser.add_argument("new_dir", metavar="NEW_DIR", help="directory of fresh BENCH_*.json")
+    parser.add_argument(
+        "--against",
+        default=".",
+        metavar="DIR",
+        help="directory of committed BENCH_*.json (default: current directory)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        metavar="X",
+        help="allowed slowdown factor before failing (default: 1.5)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance <= 0:
+        print("error: --tolerance must be positive", file=sys.stderr)
+        return 1
+    return compare_dirs(
+        Path(args.new_dir), Path(args.against), tolerance=args.tolerance
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,10 @@ from ..engine import EGraph
 from .workloads import Workload
 
 #: Schema identifier written into every BENCH file; bump on breaking change.
-SCHEMA = "repro.bench/v1"
+#: v2: every variant and the comparison block report min/median/max over
+#: repeats (``run_s_stats``); headline numbers are medians.  Readers should
+#: stay tolerant of v1 files (no ``run_s_stats`` key).
+SCHEMA = "repro.bench/v2"
 
 #: Engine variants measured by default: the persistent-index generic join,
 #: its per-execution trie-rebuild baseline, and the index-nested-loop join.
@@ -70,6 +73,28 @@ def _run_once(workload: Workload, strategy: str) -> Dict[str, object]:
     }
 
 
+def _run_s_stats(runs_s: List[float]) -> Dict[str, float]:
+    """min/median/max over the repeats' run times (median_low: an actually
+    measured run, consistent with the per-variant headline numbers)."""
+    return {
+        "min": min(runs_s),
+        "median": statistics.median_low(runs_s),
+        "max": max(runs_s),
+    }
+
+
+def median_run_s(entry: Dict[str, object]) -> float:
+    """The median ``run_s`` of a variant entry, tolerant of v1 documents.
+
+    v2 documents carry an explicit ``run_s_stats`` block; v1 documents only
+    have the headline ``run_s`` (which was already the median run).
+    """
+    stats = entry.get("run_s_stats")
+    if isinstance(stats, dict) and "median" in stats:
+        return float(stats["median"])  # type: ignore[arg-type]
+    return float(entry["run_s"])  # type: ignore[arg-type]
+
+
 def run_workload(
     workload: Workload,
     variants: Optional[Dict[str, str]] = None,
@@ -89,6 +114,7 @@ def run_workload(
             "strategy": strategy,
             "repeats": repeats,
             "run_s": median["run_s"],
+            "run_s_stats": _run_s_stats(runs_s),
             "runs_s": runs_s,
             "setup_s": median["setup_s"],
             "search_s": median["search_s"],
@@ -112,16 +138,49 @@ def run_workload(
     baseline = measured.get(BASELINE_VARIANT)
     candidate = measured.get(CANDIDATE_VARIANT)
     if baseline is not None and candidate is not None:
-        baseline_s = baseline["run_s"]
-        candidate_s = candidate["run_s"]
+        # Medians over the repeats, not any single run: one noisy repeat
+        # must not skew the headline comparison.
+        baseline_s = median_run_s(baseline)
+        candidate_s = median_run_s(candidate)
         document["comparison"] = {
             "baseline": BASELINE_VARIANT,
             "candidate": CANDIDATE_VARIANT,
             "baseline_run_s": baseline_s,
             "candidate_run_s": candidate_s,
+            "baseline_run_s_stats": baseline["run_s_stats"],
+            "candidate_run_s_stats": candidate["run_s_stats"],
             "speedup": (baseline_s / candidate_s) if candidate_s > 0 else None,
         }
     return document
+
+
+def profile_workload(
+    workload: Workload,
+    strategy: str = "indexed",
+    *,
+    top: int = 20,
+    log: Callable[[str], None] = print,
+) -> None:
+    """Run ``workload`` once under :mod:`cProfile`, printing hot functions.
+
+    Setup runs unprofiled; only the run phase is measured, sorted by
+    cumulative time (top ``top`` entries).  This is the evidence step for
+    perf work: before optimizing, profile the workload you care about.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    egraph = EGraph(strategy=strategy)
+    workload.setup(egraph)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload.run(egraph)
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(top)
+    log(f"profile: {workload.name} [{strategy}] — top {top} by cumulative time")
+    log(stream.getvalue().rstrip())
 
 
 def write_document(document: Dict[str, object], out_dir: Path) -> Path:

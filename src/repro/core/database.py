@@ -21,7 +21,6 @@ performs):
 from __future__ import annotations
 
 from bisect import bisect_left
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .index import Order, TrieIndex
@@ -36,12 +35,27 @@ Key = Tuple[Value, ...]
 HashIndex = Dict[Tuple[Value, ...], Dict[Key, None]]
 
 
-@dataclass
 class Row:
-    """A single function entry ``f(key) -> value`` with its timestamp."""
+    """A single function entry ``f(key) -> value`` with its timestamp.
 
-    value: Value
-    timestamp: int
+    Hand-rolled with ``__slots__``: one ``Row`` exists per database row and
+    the apply/rebuild hot paths allocate them constantly, so the per-object
+    dict and dataclass construction overhead are worth shedding.
+    """
+
+    __slots__ = ("value", "timestamp")
+
+    def __init__(self, value: Value, timestamp: int) -> None:
+        self.value = value
+        self.timestamp = timestamp
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Row:
+            return NotImplemented
+        return self.value == other.value and self.timestamp == other.timestamp
+
+    def __repr__(self) -> str:
+        return f"Row(value={self.value!r}, timestamp={self.timestamp!r})"
 
 
 class Table:
@@ -66,6 +80,13 @@ class Table:
         self._log_ts: List[int] = []
         self._log_keys: List[Key] = []
         self._log_sorted = True
+        # Deferred index maintenance (see begin_batch): while a batch is
+        # open, put/remove update ``data`` and the write log immediately but
+        # queue their index/trie maintenance.  ``_pending`` maps each touched
+        # key to the Row (or None) it had when the batch first touched it;
+        # the flush applies one net update per key instead of one per write.
+        self._batch_depth = 0
+        self._pending: Dict[Key, Optional[Row]] = {}
 
     # -- basic access --------------------------------------------------------
 
@@ -101,6 +122,10 @@ class Table:
         if len(self._log_ts) > 64 and len(self._log_ts) > 4 * len(self.data):
             self._compact_log()
 
+        if self._batch_depth:
+            if (self._indexes or self._tries) and key not in self._pending:
+                self._pending[key] = old
+            return
         if self._indexes and (old is None or old.value != value):
             arity = self.decl.arity
             for columns, index in self._indexes.items():
@@ -126,7 +151,7 @@ class Table:
 
     def _project(self, columns: Tuple[int, ...], key: Key, value: Value) -> Tuple[Value, ...]:
         arity = self.decl.arity
-        return tuple(value if col == arity else key[col] for col in columns)
+        return tuple([value if col == arity else key[col] for col in columns])
 
     def _compact_log(self) -> None:
         """Rebuild the write log from live rows (drops dead/duplicate entries)."""
@@ -143,6 +168,10 @@ class Table:
         row = self.data.pop(key, None)
         if row is None:
             return None
+        if self._batch_depth:
+            if (self._indexes or self._tries) and key not in self._pending:
+                self._pending[key] = row
+            return row
         if self._indexes:
             for columns, index in self._indexes.items():
                 proj = self._project(columns, key, row.value)
@@ -206,6 +235,83 @@ class Table:
                 return True
         return False
 
+    # -- batched maintenance (apply-phase / rebuild write bursts) -------------
+
+    def begin_batch(self) -> None:
+        """Start deferring index/trie maintenance for a write burst.
+
+        ``data`` and the write log stay up to date (reads through ``get`` /
+        ``new_keys`` see every write immediately), but hash-index and trie
+        updates are queued and applied as one *net* update per key at
+        :meth:`end_batch`.  The apply phase and rebuild's repair loop use
+        this: a key that is removed and re-inserted (or overwritten several
+        times) inside the batch costs one index remove + one insert instead
+        of one per write.  Nestable; index reads inside a batch flush first.
+        """
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Close a :meth:`begin_batch` scope, flushing queued maintenance."""
+        if self._batch_depth <= 0:
+            raise RuntimeError("end_batch without matching begin_batch")
+        self._batch_depth -= 1
+        if self._batch_depth == 0 and self._pending:
+            self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        """Apply the net index/trie effect of every key touched in a batch.
+
+        Index-major: the outer loop walks each index once with its column
+        set and projection decisions hoisted, instead of re-dispatching per
+        written key the way unbatched ``put`` must.
+        """
+        pending, self._pending = self._pending, {}
+        data = self.data
+        arity = self.decl.arity
+        if self._indexes:
+            changed = [
+                (key, old, row)
+                for key, old in pending.items()
+                for row in (data.get(key),)
+                if not (old is not None and row is not None and old.value == row.value)
+            ]
+            if changed:
+                for columns, index in self._indexes.items():
+                    args_only = all(col < arity for col in columns)
+                    index_setdefault = index.setdefault
+                    index_get = index.get
+                    for key, old, row in changed:
+                        if old is not None:
+                            if args_only and row is not None:
+                                continue  # arg-only projection: unchanged
+                            old_proj = self._project(columns, key, old.value)
+                            entry = index_get(old_proj)
+                            if entry is not None:
+                                entry.pop(key, None)
+                                if not entry:
+                                    del index[old_proj]
+                        if row is not None:
+                            index_setdefault(
+                                self._project(columns, key, row.value), {}
+                            )[key] = None
+        if self._tries:
+            for key, old in pending.items():
+                row = data.get(key)
+                if (
+                    old is not None
+                    and row is not None
+                    and old.value == row.value
+                    and old.timestamp == row.timestamp
+                ):
+                    continue
+                for trie in self._tries.values():
+                    if trie.stale:
+                        continue  # rebuilt from ``data`` on next access
+                    if old is not None:
+                        trie.remove(key + (old.value,), old.timestamp)
+                    if row is not None:
+                        trie.insert(key + (row.value,), row.timestamp)
+
     # -- snapshots (push/pop support) ----------------------------------------
 
     def snapshot(self) -> tuple:
@@ -216,6 +322,8 @@ class Table:
         safe and keeps ``push`` cheap.  Indexes are derived data and are not
         captured; :meth:`restore` marks them for lazy rebuild instead.
         """
+        if self._pending:
+            self._flush_pending()
         return (dict(self.data), list(self._log_ts), list(self._log_keys), self._log_sorted)
 
     def restore(self, state: tuple) -> None:
@@ -231,6 +339,7 @@ class Table:
         self._log_ts = log_ts
         self._log_keys = log_keys
         self._log_sorted = log_sorted
+        self._pending.clear()
         self._indexes.clear()
         for trie in self._tries.values():
             trie.stale = True
@@ -245,6 +354,8 @@ class Table:
         rebuilding's per-round dirty-id probes — no longer pays a rebuild
         whenever the table changed.  Column ``arity`` refers to the output.
         """
+        if self._pending:
+            self._flush_pending()
         cached = self._indexes.get(columns)
         if cached is not None:
             return cached
@@ -268,6 +379,8 @@ class Table:
         first registration builds the trie from the current rows; later
         calls are cheap no-ops unless a snapshot restore left it stale.
         """
+        if self._pending:
+            self._flush_pending()
         trie = self._tries.get(order)
         if trie is None:
             trie = TrieIndex(order)
@@ -284,6 +397,8 @@ class Table:
         ``check``) falls back to the ad-hoc per-execution trie instead of
         paying for a persistent index it would use once.
         """
+        if self._pending:
+            self._flush_pending()
         trie = self._tries.get(order)
         if trie is None:
             return None

@@ -21,6 +21,12 @@ Two join strategies are provided:
 
 Both support *delta* searches for semi-naïve evaluation: one designated atom
 is restricted to rows whose timestamp is at least ``since``.
+
+These interpreted strategies serve one-off public queries (``query``,
+``check``) and act as the reference implementation; the scheduler runs
+compiled rules through the positional executors in
+:mod:`repro.core.compile`, which enumerate matches in exactly the same
+order.
 """
 
 from __future__ import annotations
@@ -165,13 +171,18 @@ def apply_prims(
     return bindings
 
 
-def _plan_order(
+def plan_order(
     atoms: Sequence[TableAtom],
     tables: Dict[str, Table],
     delta_index: Optional[int],
 ) -> List[int]:
     """Greedy join order: the delta atom first, then atoms that share the most
-    already-bound variables, tie-broken by smallest table."""
+    already-bound variables, tie-broken by smallest table.
+
+    Shared by the interpreted :func:`search_indexed` below and the compiled
+    executor (:mod:`repro.core.compile`) so both enumerate matches in the
+    same order for the same database state.
+    """
     remaining = list(range(len(atoms)))
     order: List[int] = []
     bound: Set[str] = set()
@@ -243,7 +254,7 @@ def search_indexed(
     for atom in atoms:
         if atom.func not in tables:
             return
-    order = _plan_order(atoms, tables, delta_atom)
+    order = plan_order(atoms, tables, delta_atom)
 
     def recurse(position: int, bindings: Substitution) -> Iterator[Substitution]:
         if position == len(order):

@@ -20,6 +20,7 @@ before the engine sees the rule.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.terms import Term, TermApp
@@ -415,6 +416,42 @@ class Ruleset:
         names = self._egraph._register_items(items, ruleset=self.name)
         self.rule_names.extend(names)
         return names
+
+    def replace(self, item: RegistrableRule, *, name: Optional[str] = None) -> str:
+        """Swap a registered rule of this ruleset with a new definition.
+
+        ``name`` defaults to the item's own name; the item must lower to
+        exactly one engine rule whose name is already registered here.  The
+        engine recompiles the rule and drops every cached query plan and
+        action program of the old definition (its semi-naïve watermark
+        resets too: an edited body re-searches the full database).
+        """
+        if isinstance(item, (DslRule, Rewrite)):
+            lowered = item.to_engine(ruleset=self.name, name=name)
+        elif isinstance(item, EngineRule):
+            # Copy rather than mutate: if the engine rejects the replace
+            # (e.g. a ruleset move), the caller's rule object must be intact.
+            lowered = [dataclasses.replace(item, ruleset=self.name)]
+        else:
+            raise DslError(
+                f"cannot replace with {item!r}: expected a rule, a rewrite, "
+                f"or an engine rule"
+            )
+        if len(lowered) != 1:
+            raise DslError(
+                "replace() needs exactly one rule; bidirectional rewrites "
+                "lower to two — replace each direction separately"
+            )
+        engine_rule = lowered[0]
+        if name is not None:
+            engine_rule.name = name
+        replaced = self._egraph.engine.replace_rule(engine_rule)
+        if replaced not in self.rule_names:
+            # replace_rule already verified the ruleset matches; keep the
+            # handle's bookkeeping consistent for rules registered before
+            # this Ruleset object existed (e.g. across scoped() restores).
+            self.rule_names.append(replaced)
+        return replaced
 
     # -- schedule fragments --------------------------------------------------
 

@@ -22,10 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Sequence, Tuple
 
-from ..core.schema import MERGE_ERROR, MERGE_UNION, FunctionDecl
+from ..core.schema import FunctionDecl
 from ..core.terms import Term, TermApp
 from ..core.values import Value
-from .errors import EGraphError, EGraphPanic, MergeError
+from .errors import EGraphError, EGraphPanic
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .egraph import EGraph
@@ -102,21 +102,11 @@ def resolve_merge(egraph: "EGraph", decl: FunctionDecl, old: Value, new: Value) 
     ``"union"``, ``"error"``, or a callable ``(old, new) -> Value``.
     Returns the value that should be stored; raises :class:`MergeError` for
     ``"error"`` merges and for merge functions that fail.
+
+    The dispatch lives in ``EGraph.merge_fn``, which compiles it once per
+    function into a cached closure; this wrapper is the per-call spelling.
     """
-    merge = decl.merge
-    if merge == MERGE_UNION:
-        return egraph.union_values(old, new)
-    if merge == MERGE_ERROR:
-        raise MergeError(
-            f"merge conflict on {decl.name}: {old!r} vs {new!r} "
-            f"(function declared with merge=\"error\")"
-        )
-    if callable(merge):
-        merged = merge(old, new)
-        if merged is None:
-            raise MergeError(f"merge function of {decl.name} failed on {old!r}, {new!r}")
-        return merged
-    raise EGraphError(f"function {decl.name} has unnormalized merge {merge!r}")
+    return egraph.merge_fn(decl)(old, new)
 
 
 def set_function_value(

@@ -35,7 +35,8 @@ from ..core.terms import Term, TermApp, TermLit, TermLike, TermVar, as_term
 from ..core.unionfind import UnionFind
 from ..core.values import BUILTIN_SORTS, UNIT, UNIT_VALUE, EqSort, Sort, Value, from_python
 from .actions import Action, Delete, Expr, Let, Set, Union
-from .errors import CheckError, EGraphError, ExtractError
+from .errors import CheckError, EGraphError, ExtractError, MergeError
+from .program import RuleExec
 from .rebuild import rebuild as _rebuild
 from .rule import DEFAULT_RULESET, CompiledRule, Fact, Rule, compile_facts, compile_rule
 from .rule import birewrite as _birewrite
@@ -79,19 +80,14 @@ class EGraph:
         strategy: str = "indexed",
         registry: Optional[PrimitiveRegistry] = None,
     ) -> None:
-        if strategy not in SEARCH_STRATEGIES:
-            raise EGraphError(
-                f"unknown search strategy {strategy!r}; pick one of "
-                f"{sorted(SEARCH_STRATEGIES)}"
-            )
-        self.strategy = strategy
-        self._search_fn = SEARCH_STRATEGIES[strategy]
-        #: True when rule search consumes persistent trie indexes; the
-        #: engine then registers each compiled rule's orderings up front.
-        self.uses_trie_indexes = strategy in _TRIE_INDEX_STRATEGIES
         self.uf = UnionFind()
         self.registry = registry if registry is not None else default_registry()
         self.sorts: Dict[str, Sort] = dict(BUILTIN_SORTS)
+        #: Names of declared eq-sorts — the canonicalize fast path tests
+        #: membership here instead of a dict lookup plus attribute access.
+        self._eq_sorts: set = {
+            name for name, sort in self.sorts.items() if sort.is_eq_sort
+        }
         self.decls: Dict[str, FunctionDecl] = {}
         self.tables: Dict[str, Table] = {}
         self.rules: Dict[str, CompiledRule] = {}
@@ -99,8 +95,146 @@ class EGraph:
         #: Current semi-naïve timestamp; rows written now carry this stamp.
         self.timestamp = 0
         self._updates = 0
+        #: Bumped whenever compiled executors may hold stale references
+        #: (push/pop, rule replacement); see :meth:`rule_exec`.
+        self._compile_epoch = 0
+        #: Per-function compiled merge-resolution closures (see merge_fn).
+        self._merge_fns: Dict[str, Callable[[Value, Value], Value]] = {}
+        #: Per-function eq-sorted column lists (see eq_columns).
+        self._eq_cols: Dict[str, List[Tuple[int, str]]] = {}
         self.scheduler = Scheduler(self)
         self._snapshots: List[dict] = []
+        self.set_strategy(strategy)
+
+    # -- strategy -------------------------------------------------------------
+
+    @property
+    def strategy(self) -> str:
+        """The active join strategy; assigning switches it (see set_strategy)."""
+        return self._strategy
+
+    @strategy.setter
+    def strategy(self, name: str) -> None:
+        self.set_strategy(name)
+
+    def set_strategy(self, name: str) -> None:
+        """Switch the join strategy mid-session.
+
+        Compiled rule executors are cached per strategy, so switching picks
+        (or builds) the matching plan — no stale cross-strategy state.
+        Switching to a trie-index strategy registers every compiled rule's
+        orderings so the next search runs on maintained indexes.
+        """
+        if name not in SEARCH_STRATEGIES:
+            raise EGraphError(
+                f"unknown search strategy {name!r}; pick one of "
+                f"{sorted(SEARCH_STRATEGIES)}"
+            )
+        self._strategy = name
+        self._search_fn = SEARCH_STRATEGIES[name]
+        #: True when rule search consumes persistent trie indexes; the
+        #: engine then registers each compiled rule's orderings up front.
+        self.uses_trie_indexes = name in _TRIE_INDEX_STRATEGIES
+        if self.uses_trie_indexes:
+            for rule in self.rules.values():
+                self.register_rule_indexes(rule)
+
+    # -- compiled executors ---------------------------------------------------
+
+    @property
+    def compile_epoch(self) -> int:
+        """Monotone counter invalidating compiled plans/programs.
+
+        Push/pop and rule replacement bump it: compiled closures capture
+        table and declaration objects those operations may swap out.
+        """
+        return self._compile_epoch
+
+    def invalidate_compiled(self) -> None:
+        """Invalidate every cached compiled executor and merge closure."""
+        self._compile_epoch += 1
+        self._merge_fns.clear()
+        self._eq_cols.clear()
+
+    def eq_columns(self, decl: FunctionDecl) -> List[Tuple[int, str]]:
+        """The eq-sorted columns of ``decl`` as ``(column, sort)`` pairs.
+
+        Column ``arity`` is the output.  Cached per function — rebuilding
+        consults this once per repair round per table.
+        """
+        cached = self._eq_cols.get(decl.name)
+        if cached is not None:
+            return cached
+        cols = [
+            (i, s)
+            for i, s in enumerate(decl.arg_sorts)
+            if self.sorts[s].is_eq_sort
+        ]
+        if self.sorts[decl.out_sort].is_eq_sort:
+            cols.append((decl.arity, decl.out_sort))
+        self._eq_cols[decl.name] = cols
+        return cols
+
+    def rule_exec(self, rule: CompiledRule) -> RuleExec:
+        """The compiled executor for ``rule`` under the current strategy.
+
+        Cached on the rule per strategy and pinned to the compile epoch;
+        a stale or missing entry is recompiled on demand (lazily, so rules
+        never run under one strategy cost nothing).
+        """
+        cached = rule.exec_cache.get(self._strategy)
+        if cached is not None and cached.epoch == self._compile_epoch:
+            return cached
+        built = RuleExec(self, rule, self._strategy)
+        rule.exec_cache[self._strategy] = built
+        return built
+
+    def merge_fn(self, decl: FunctionDecl) -> Callable[[Value, Value], Value]:
+        """The compiled merge-resolution closure for ``decl``.
+
+        Shared by ``set`` actions and rebuilding (both resolve conflicts
+        through :func:`~repro.engine.actions.set_function_value`); the
+        string/callable dispatch of ``resolve_merge`` happens once per
+        function instead of once per conflict.
+        """
+        cached = self._merge_fns.get(decl.name)
+        if cached is not None:
+            return cached
+        merge = decl.merge
+        if merge == MERGE_UNION:
+            fn = self.union_values
+        elif merge == MERGE_ERROR:
+            name = decl.name
+
+            def error_merge(old: Value, new: Value) -> Value:
+                raise MergeError(
+                    f"merge conflict on {name}: {old!r} vs {new!r} "
+                    f"(function declared with merge=\"error\")"
+                )
+
+            fn = error_merge
+        elif callable(merge):
+            name = decl.name
+            user_merge = merge
+
+            def call_merge(old: Value, new: Value) -> Value:
+                merged = user_merge(old, new)
+                if merged is None:
+                    raise MergeError(
+                        f"merge function of {name} failed on {old!r}, {new!r}"
+                    )
+                return merged
+
+            fn = call_merge
+        else:
+            name, bad = decl.name, merge
+
+            def bad_merge(old: Value, new: Value) -> Value:
+                raise EGraphError(f"function {name} has unnormalized merge {bad!r}")
+
+            fn = bad_merge
+        self._merge_fns[decl.name] = fn
+        return fn
 
     # -- change tracking ------------------------------------------------------
 
@@ -121,6 +255,7 @@ class EGraph:
             raise EGraphError(f"sort {name!r} already declared")
         sort = EqSort(name)
         self.sorts[name] = sort
+        self._eq_sorts.add(name)
         return sort
 
     def function(
@@ -234,27 +369,30 @@ class EGraph:
 
     def canonicalize(self, value: Value) -> Value:
         """Replace an eq-sorted value's id with its canonical representative."""
-        sort = self.sorts.get(value.sort)
-        if sort is None or not sort.is_eq_sort:
+        # Index access: Value is a (sort, data) tuple and this is the
+        # engine's hottest function — C-level indexing beats the property.
+        sort = value[0]  # type: ignore[index]
+        if sort not in self._eq_sorts:
             return value
-        root = self.uf.find(value.data)
-        return value if root == value.data else Value(value.sort, root)
+        data = value[1]  # type: ignore[index]
+        root = self.uf.find(data)
+        return value if root == data else Value(sort, root)
 
     def union_values(self, a: Value, b: Value) -> Value:
         """Merge two values: union e-class ids, require equality on primitives."""
-        if a.sort != b.sort:
+        sort = a[0]  # type: ignore[index]
+        if sort != b[0]:  # type: ignore[index]
             raise EGraphError(f"cannot union values of different sorts: {a!r}, {b!r}")
-        sort = self.sorts.get(a.sort)
-        if sort is None or not sort.is_eq_sort:
+        if sort not in self._eq_sorts:
             if a != b:
                 raise EGraphError(f"cannot union distinct primitive values {a!r}, {b!r}")
             return a
-        ra, rb = self.uf.find(a.data), self.uf.find(b.data)
+        ra, rb = self.uf.find(a[1]), self.uf.find(b[1])  # type: ignore[index]
         if ra == rb:
-            return Value(a.sort, ra)
+            return Value(sort, ra)
         root = self.uf.union(ra, rb)
         self.note_update()
-        return Value(a.sort, root)
+        return Value(sort, root)
 
     # -- term evaluation ------------------------------------------------------
 
@@ -390,6 +528,34 @@ class EGraph:
         """Register several rules; returns their names."""
         return [self.add_rule(rule) for rule in rules]
 
+    def replace_rule(self, rule: Rule) -> str:
+        """Recompile and swap a registered rule in place (same name).
+
+        The rule keeps its position in its ruleset, but its semi-naïve
+        watermark resets to zero — an edited body must re-search the full
+        database, not just the delta since the old rule last ran.  The
+        fresh :class:`CompiledRule` carries an empty executor cache, so any
+        compiled plan or action program of the old definition is unreachable
+        (no stale-slot reads).
+        """
+        if rule.name is None:
+            raise EGraphError("replace_rule needs a named rule")
+        existing = self.rules.get(rule.name)
+        if existing is None:
+            raise EGraphError(f"cannot replace unknown rule {rule.name!r}")
+        if rule.ruleset != existing.ruleset:
+            raise EGraphError(
+                f"cannot move rule {rule.name!r} from ruleset "
+                f"{existing.ruleset!r} to {rule.ruleset!r} while replacing it"
+            )
+        compiled = compile_rule(rule, self.is_table, default_name=rule.name)
+        self._validate_symbols(compiled.query, f"rule {compiled.name!r}")
+        self._validate_actions(compiled.actions, f"rule {compiled.name!r}")
+        self.rules[compiled.name] = compiled
+        if self.uses_trie_indexes:
+            self.register_rule_indexes(compiled)
+        return compiled.name
+
     def add_rewrite(
         self,
         lhs: TermLike,
@@ -452,6 +618,10 @@ class EGraph:
                 "updates": self._updates,
             }
         )
+        # Rules compiled before the push must not run against the pushed
+        # scope's tables/declarations with plans minted outside it (and
+        # vice versa after the pop) — invalidate on both edges.
+        self.invalidate_compiled()
         return len(self._snapshots)
 
     def pop(self, count: int = 1) -> int:
@@ -485,6 +655,10 @@ class EGraph:
             self.rulesets = snap["rulesets"]
             self.timestamp = snap["timestamp"]
             self._updates = snap["updates"]
+        self._eq_sorts = {
+            name for name, sort in self.sorts.items() if sort.is_eq_sort
+        }
+        self.invalidate_compiled()
         return len(self._snapshots)
 
     # -- querying / checking --------------------------------------------------

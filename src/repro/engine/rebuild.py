@@ -71,11 +71,7 @@ def _repair_table(egraph: "EGraph", table: Table, dirty: Set[int]) -> int:
     eq-sorted column) finds every affected row.  Returns the repair count.
     """
     decl = table.decl
-    eq_cols: List[Tuple[int, str]] = [
-        (i, s) for i, s in enumerate(decl.arg_sorts) if egraph.sorts[s].is_eq_sort
-    ]
-    if egraph.sorts[decl.out_sort].is_eq_sort:
-        eq_cols.append((decl.arity, decl.out_sort))
+    eq_cols = egraph.eq_columns(decl)
     if not eq_cols:
         return 0  # Purely primitive table: unions cannot touch it.
 
@@ -89,14 +85,30 @@ def _repair_table(egraph: "EGraph", table: Table, dirty: Set[int]) -> int:
                     seen.add(key)
                     stale.append(key)
 
+    # The index probes above are done for this round, and the writes below
+    # only read rows (never indexes), so the remove/re-insert churn of the
+    # repair loop batches its index maintenance: a key whose canonical form
+    # is itself costs one net trie/index update instead of two, and keys
+    # merged several times in one round settle once.  Tiny rounds (a
+    # handful of stale keys, the common shape under one-union-at-a-time
+    # rebuilds) skip the batch — its flush setup would cost more than the
+    # direct per-put maintenance it replaces.
     repaired = 0
-    for key in stale:
-        row = table.get_row(key)
-        if row is None:
-            continue  # Merged away while repairing an earlier sibling.
-        canon_key = tuple(egraph.canonicalize(v) for v in key)
-        canon_value = egraph.canonicalize(row.value)
-        table.remove(key)
-        set_function_value(egraph, decl, canon_key, canon_value)
-        repaired += 1
+    canonicalize = egraph.canonicalize
+    use_batch = len(stale) > 8
+    if use_batch:
+        table.begin_batch()
+    try:
+        for key in stale:
+            row = table.get_row(key)
+            if row is None:
+                continue  # Merged away while repairing an earlier sibling.
+            canon_key = tuple([canonicalize(v) for v in key])
+            canon_value = canonicalize(row.value)
+            table.remove(key)
+            set_function_value(egraph, decl, canon_key, canon_value)
+            repaired += 1
+    finally:
+        if use_batch:
+            table.end_batch()
     return repaired

@@ -21,6 +21,13 @@ within an iteration see the same database snapshot.  The run saturates when
 an iteration changes nothing: no inserts, no output updates, no unions, no
 deletes.
 
+Rules run through their **compiled executors** (``EGraph.rule_exec`` →
+``repro.engine.program`` / ``repro.core.compile``): searches produce
+positional match tuples over integer slots, delta dedup hashes those
+tuples directly, and the apply phase fires each rule's precompiled action
+program — with every table's index maintenance batched until the phase
+ends, since nothing reads the indexes while actions run.
+
 When the engine's strategy consumes persistent trie indexes, the scheduler
 registers each compiled rule's column orderings with the tables up front
 (once per rule — later calls are no-ops), so the first search already runs
@@ -30,12 +37,12 @@ on maintained indexes.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
-from ..core.query import Substitution
+from ..core.compile import MatchTuple
 from ..core.schema import RunReport
-from .actions import run_actions
 from .errors import EGraphError
+from .program import RuleExec
 from .rebuild import rebuild
 from .rule import DEFAULT_RULESET, CompiledRule
 from .schedule import Repeat, Run, Saturate, Schedule, Seq
@@ -53,8 +60,11 @@ class Scheduler:
     # -- searching ------------------------------------------------------------
 
     def search_rule(
-        self, rule: CompiledRule, report: Optional[RunReport] = None
-    ) -> List[Substitution]:
+        self,
+        rule: CompiledRule,
+        report: Optional[RunReport] = None,
+        exec_: Optional[RuleExec] = None,
+    ) -> List[MatchTuple]:
         """All matches of ``rule`` that involve rows newer than its watermark.
 
         On a rule's first run (``last_run == 0``) this is a plain full
@@ -64,30 +74,32 @@ class Scheduler:
         is produced once per new atom).  Atoms whose tables have no new rows
         since the watermark contribute nothing and are short-circuited
         before any per-query work.
+
+        Matches come back as positional tuples in the rule's compiled slot
+        order (``exec_.slot_names``); dedup across delta atoms hashes those
+        canonical tuples directly instead of sorting dict items per match.
         """
         egraph = self.egraph
         query = rule.query
+        if exec_ is None:
+            exec_ = egraph.rule_exec(rule)
         if not query.atoms:
             # A rule with no table atoms can never produce new matches after
             # its first firing; run it exactly once.
             if rule.last_run > 0:
                 return []
-            return list(egraph.search(query))
+            return exec_.search_full(egraph.tables)
         if rule.last_run <= 0:
-            return list(egraph.search(query))
-        matches: List[Substitution] = []
-        seen = set()
+            return exec_.search_full(egraph.tables)
+        matches: List[MatchTuple] = []
+        seen: Set[MatchTuple] = set()
         for index, atom in enumerate(query.atoms):
             table = egraph.tables.get(atom.func)
             if table is None or not table.has_new(rule.last_run):
                 if report is not None:
                     report.delta_skips += 1
                 continue
-            for match in egraph.search(query, delta_atom=index, since=rule.last_run):
-                key = tuple(sorted(match.items(), key=lambda item: item[0]))
-                if key not in seen:
-                    seen.add(key)
-                    matches.append(match)
+            exec_.search_delta(egraph.tables, index, rule.last_run, seen, matches)
         return matches
 
     # -- iterating ------------------------------------------------------------
@@ -114,24 +126,36 @@ class Scheduler:
             for rule in rules:
                 egraph.register_rule_indexes(rule)
 
-        # Phase 1: search (all rules see the same snapshot).
-        searched: List[Tuple[CompiledRule, List[Substitution]]] = []
+        # Phase 1: search (all rules see the same snapshot).  Each rule runs
+        # through its compiled executor: positional plans, slot registers,
+        # and a precompiled action program (``repro.engine.program``).
+        searched: List[Tuple[CompiledRule, RuleExec, List[MatchTuple]]] = []
         for rule in rules:
             start = time.perf_counter()
-            matches = self.search_rule(rule, report)
+            exec_ = egraph.rule_exec(rule)
+            matches = self.search_rule(rule, report, exec_)
             report.search_time += time.perf_counter() - start
             report.num_matches += len(matches)
             report.per_rule_matches[rule.name] = len(matches)
-            searched.append((rule, matches))
+            searched.append((rule, exec_, matches))
 
         # Phase 2: apply.  Bump the timestamp so writes from this iteration
-        # are the next iteration's delta.
+        # are the next iteration's delta.  No search touches the indexes
+        # until the next phase, so every table defers its index/trie
+        # maintenance and flushes one net update per written key.
         egraph.timestamp += 1
         start = time.perf_counter()
-        for rule, matches in searched:
-            for match in matches:
-                run_actions(egraph, rule.actions, match)
-            rule.last_run = egraph.timestamp
+        for table in egraph.tables.values():
+            table.begin_batch()
+        try:
+            for rule, exec_, matches in searched:
+                execute = exec_.program.execute
+                for match in matches:
+                    execute(match)
+                rule.last_run = egraph.timestamp
+        finally:
+            for table in egraph.tables.values():
+                table.end_batch()
         report.apply_time += time.perf_counter() - start
 
         # Phase 3: rebuild congruence closure.

@@ -62,14 +62,15 @@ def test_default_workloads_cover_three_families():
 
 
 def test_run_workload_document_schema():
-    document = run_workload(tiny_tc(), TINY_VARIANTS, repeats=1)
-    assert document["schema"] == SCHEMA
+    document = run_workload(tiny_tc(), TINY_VARIANTS, repeats=3)
+    assert document["schema"] == SCHEMA == "repro.bench/v2"
     assert document["name"] == "tc_chain"
     assert set(document["variants"]) == set(TINY_VARIANTS)
     for entry in document["variants"].values():
         for field in (
             "strategy",
             "run_s",
+            "run_s_stats",
             "runs_s",
             "setup_s",
             "search_s",
@@ -84,10 +85,26 @@ def test_run_workload_document_schema():
             assert field in entry
         assert entry["saturated"] is True
         assert entry["table_rows"]["path"] == 15  # closure of a 6-chain
+        stats = entry["run_s_stats"]
+        assert stats["min"] <= stats["median"] <= stats["max"]
+        assert stats["median"] in entry["runs_s"]  # an actually measured run
+        assert entry["run_s"] == stats["median"]
     comparison = document["comparison"]
     assert comparison["baseline"] == "generic-adhoc"
     assert comparison["candidate"] == "generic-index"
     assert comparison["speedup"] > 0
+    # The headline comparison numbers are the medians of the repeats.
+    assert comparison["baseline_run_s"] == (
+        document["variants"]["generic-adhoc"]["run_s_stats"]["median"]
+    )
+    assert comparison["candidate_run_s_stats"]["min"] <= comparison["candidate_run_s"]
+
+
+def test_median_run_s_tolerates_v1_documents():
+    from repro.bench import median_run_s
+
+    assert median_run_s({"run_s": 0.25}) == 0.25  # v1: no run_s_stats block
+    assert median_run_s({"run_s": 9.9, "run_s_stats": {"median": 0.5}}) == 0.5
 
 
 def test_variants_agree_on_results():
@@ -155,3 +172,111 @@ def test_cli_rejects_unknown_selection(tmp_path, capsys):
     assert "no workload matches" in capsys.readouterr().err
     assert bench_main(["--variants", "warp-drive", "--out", str(tmp_path)]) == 1
     assert "unknown variant" in capsys.readouterr().err
+
+
+def test_cli_profile_prints_hot_functions(tmp_path, capsys):
+    assert (
+        bench_main(
+            ["--quick", "--only", "tc_chain", "--profile", "--out", str(tmp_path)]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "profile: tc_chain [generic]" in out or "profile: tc_chain [indexed]" in out
+    assert "cumulative" in out  # pstats column header
+    assert not list(tmp_path.glob("BENCH_*.json"))  # profiling writes no files
+
+
+# -- regression gate (repro.bench.compare) ------------------------------------
+
+
+def _gate_documents(tmp_path):
+    from repro.bench.runner import write_document
+
+    committed = tmp_path / "committed"
+    fresh = tmp_path / "fresh"
+    document = run_workload(tiny_tc(), TINY_VARIANTS, repeats=1)
+    write_document(document, committed)
+    write_document(document, fresh)
+    return committed, fresh
+
+
+def test_compare_passes_on_identical_documents(tmp_path, capsys):
+    from repro.bench.compare import main as compare_main
+
+    committed, fresh = _gate_documents(tmp_path)
+    assert compare_main([str(fresh), "--against", str(committed)]) == 0
+    assert "within 1.50x" in capsys.readouterr().out
+
+
+def test_compare_fails_on_regression(tmp_path, capsys):
+    from repro.bench.compare import main as compare_main
+
+    committed, fresh = _gate_documents(tmp_path)
+    path = fresh / "BENCH_tc_chain.json"
+    document = json.loads(path.read_text())
+    for entry in document["variants"].values():
+        entry["run_s_stats"]["median"] = entry["run_s_stats"]["median"] * 10 + 1.0
+    path.write_text(json.dumps(document))
+    assert compare_main([str(fresh), "--against", str(committed)]) == 1
+    assert "regressed" in capsys.readouterr().out
+
+
+def test_compare_fails_on_semantic_drift(tmp_path, capsys):
+    from repro.bench.compare import main as compare_main
+
+    committed, fresh = _gate_documents(tmp_path)
+    path = fresh / "BENCH_tc_chain.json"
+    document = json.loads(path.read_text())
+    document["variants"]["generic-index"]["matches"] += 1
+    path.write_text(json.dumps(document))
+    assert compare_main([str(fresh), "--against", str(committed)]) == 1
+    assert "matches changed" in capsys.readouterr().out
+
+
+def test_compare_skips_on_param_change_and_tolerates_v1(tmp_path, capsys):
+    from repro.bench.compare import main as compare_main
+
+    committed, fresh = _gate_documents(tmp_path)
+    path = committed / "BENCH_tc_chain.json"
+    document = json.loads(path.read_text())
+    # Downgrade the committed file to schema v1: drop the stats blocks.
+    document["schema"] = "repro.bench/v1"
+    for entry in document["variants"].values():
+        del entry["run_s_stats"]
+    path.write_text(json.dumps(document))
+    assert compare_main([str(fresh), "--against", str(committed)]) == 0
+
+    # A params change is an explicit failure telling the author to refresh.
+    document["params"] = {"kind": "chain", "n": 99, "m": 98, "seed": 0}
+    path.write_text(json.dumps(document))
+    assert compare_main([str(fresh), "--against", str(committed)]) == 1
+    assert "refresh the committed BENCH" in capsys.readouterr().out
+
+
+def test_compare_fails_when_committed_variant_goes_missing(tmp_path, capsys):
+    from repro.bench.compare import main as compare_main
+
+    committed, fresh = _gate_documents(tmp_path)
+    path = fresh / "BENCH_tc_chain.json"
+    document = json.loads(path.read_text())
+    # Simulate a variant rename: the committed "generic-index" vanishes
+    # from the fresh run.  The gate must not pass vacuously.
+    document["variants"]["renamed"] = document["variants"].pop("generic-index")
+    path.write_text(json.dumps(document))
+    assert compare_main([str(fresh), "--against", str(committed)]) == 1
+    assert "missing from the fresh run" in capsys.readouterr().out
+
+
+def test_compare_errors_when_nothing_to_compare(tmp_path, capsys):
+    from repro.bench.compare import main as compare_main
+
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert compare_main([str(empty), "--against", str(tmp_path)]) == 1
+    fresh = tmp_path / "fresh-only"
+    from repro.bench.runner import write_document
+
+    write_document(run_workload(tiny_tc(), TINY_VARIANTS, repeats=1), fresh)
+    assert compare_main([str(fresh), "--against", str(empty)]) == 1
+    assert "nothing to compare" in capsys.readouterr().out
