@@ -16,6 +16,8 @@ implements the paper's textual .egg language on top
 from .dsl import (
     DslError,
     EGraph,
+    ExplainStep,
+    Explanation,
     Expr,
     Extracted,
     Function,
@@ -45,6 +47,8 @@ __all__ = [
     "DslError",
     "EGraph",
     "Evaluator",
+    "ExplainStep",
+    "Explanation",
     "Expr",
     "Extracted",
     "Function",

@@ -28,6 +28,11 @@ from .runner import median_run_s
 #: Per-variant fields that must agree for run times to be comparable.
 SEMANTIC_FIELDS = ("matches", "iterations", "saturated")
 
+#: Committed medians below this are unusable as a regression baseline: the
+#: ratio ``new / old`` degenerates (division by ~zero), so the gate demands
+#: a re-measured committed file instead of silently passing.
+MIN_BASELINE_S = 1e-9
+
 
 def compare_documents(
     committed: Dict[str, object],
@@ -70,7 +75,13 @@ def compare_documents(
         else:
             old_s = median_run_s(old)
             new_s = median_run_s(new)
-            if old_s > 0 and new_s > old_s * tolerance:
+            if old_s < MIN_BASELINE_S:
+                problems.append(
+                    f"{name}/{variant}: committed median run_s is "
+                    f"zero/near-zero ({old_s!r}s) — no regression ratio "
+                    f"exists; re-measure and refresh the committed BENCH file"
+                )
+            elif new_s > old_s * tolerance:
                 problems.append(
                     f"{name}/{variant}: median run_s regressed "
                     f"{new_s / old_s:.2f}x ({old_s * 1000:.1f}ms -> "

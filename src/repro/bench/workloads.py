@@ -226,6 +226,67 @@ def congruence_stress(*, leaves: int, height: int, seed: int = 0) -> Workload:
 
 
 # ---------------------------------------------------------------------------
+# Proof production
+# ---------------------------------------------------------------------------
+
+
+def proof_explain(*, leaves: int, height: int, explains: int, seed: int = 0) -> Workload:
+    """Proof-size workload: congruence towers, then a batch of ``explain``\\ s.
+
+    Builds the :func:`congruence_stress` shape (towers of unary ``F`` over
+    ``Leaf`` classes), unions the leaves pairwise, rebuilds once, then asks
+    the engine to explain ``explains`` seeded-random pairs of tower *tops* —
+    equalities that only hold through chains of congruence steps.  The
+    report's ``num_matches`` carries the total number of proof steps
+    produced, so the regression gate catches semantic drift in proof sizes,
+    not just timing.
+    """
+
+    def top(index: int) -> App:
+        term = App("Leaf", index)
+        for _ in range(height):
+            term = App("F", term)
+        return term
+
+    def setup(egraph: EGraph) -> None:
+        egraph.declare_sort("V")
+        egraph.constructor("Leaf", ("i64",), "V")
+        egraph.constructor("F", ("V",), "V")
+        for index in range(leaves):
+            egraph.add(top(index))
+
+    def run(egraph: EGraph) -> RunReport:
+        import time
+
+        rng = random.Random(seed)
+        order = list(range(leaves))
+        rng.shuffle(order)
+        report = RunReport()
+        start = time.perf_counter()
+        for left, right in zip(order, order[1:]):
+            egraph.union(App("Leaf", left), App("Leaf", right))
+        egraph.rebuild()
+        total_steps = 0
+        for _ in range(explains):
+            a, b = rng.randrange(leaves), rng.randrange(leaves)
+            total_steps += len(egraph.explain(top(a), top(b)).steps)
+        report.iterations = explains
+        report.num_matches = total_steps
+        report.saturated = True
+        report.rebuild_time = time.perf_counter() - start
+        return report
+
+    return Workload(
+        name="proofs",
+        family="proof-production",
+        params={"leaves": leaves, "height": height, "explains": explains, "seed": seed},
+        setup=setup,
+        run=run,
+        tables_of_interest=("Leaf", "F"),
+    )
+
+
+# ---------------------------------------------------------------------------
 # Default suites
 # ---------------------------------------------------------------------------
 
@@ -239,6 +300,7 @@ def default_workloads(*, quick: bool = False, seed: int = 0) -> List[Workload]:
             transitive_closure("grid", n=4, seed=seed),
             math_rewriting(depth=4, iterations=4, seed=seed),
             congruence_stress(leaves=60, height=4, seed=seed),
+            proof_explain(leaves=40, height=4, explains=30, seed=seed),
         ]
     return [
         transitive_closure("chain", n=72, seed=seed),
@@ -248,4 +310,5 @@ def default_workloads(*, quick: bool = False, seed: int = 0) -> List[Workload]:
         transitive_closure("grid", n=7, seed=seed),
         math_rewriting(depth=5, iterations=5, seed=seed),
         congruence_stress(leaves=220, height=5, seed=seed),
+        proof_explain(leaves=150, height=5, explains=100, seed=seed),
     ]

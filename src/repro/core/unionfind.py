@@ -9,11 +9,19 @@ The implementation uses path compression and union by size.  It also records
 the set of "dirty" ids displaced by recent unions so the rebuilding
 procedure (``repro.engine.rebuild``, Section 4 of the paper) knows which
 database rows may need to be re-canonicalized.
+
+With ``proofs=True`` the union-find keeps a :class:`~repro.core.proofs.
+ProofForest` sibling in lockstep: every merging union records one
+justification edge between the *original* ids the caller passed (never the
+compressed roots), so ``explain``-style queries can later recover why two
+ids are equal.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import Iterable, List, Optional, Set
+
+from .proofs import EXPLICIT, Justification, ProofForest
 
 
 class UnionFind:
@@ -29,13 +37,14 @@ class UnionFind:
     False
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, proofs: bool = False) -> None:
         self._parent: List[int] = []
         self._size: List[int] = []
         # Ids whose canonical representative changed since the last call to
         # ``take_dirty``.  Stored as the *old* (now stale) representatives.
         self._dirty: Set[int] = set()
         self._n_unions = 0
+        self.proofs: Optional[ProofForest] = ProofForest() if proofs else None
 
     def __len__(self) -> int:
         return len(self._parent)
@@ -50,6 +59,8 @@ class UnionFind:
         ident = len(self._parent)
         self._parent.append(ident)
         self._size.append(1)
+        if self.proofs is not None:
+            self.proofs.make_set()
         return ident
 
     def make_sets(self, count: int) -> List[int]:
@@ -78,11 +89,14 @@ class UnionFind:
         """Return True iff ``ident`` is its own representative."""
         return self._parent[ident] == ident
 
-    def union(self, a: int, b: int) -> int:
+    def union(self, a: int, b: int, reason: Optional[Justification] = None) -> int:
         """Merge the classes of ``a`` and ``b``; return the new representative.
 
         The id that stops being canonical is recorded as dirty so rebuilding
-        can repair rows that mention it.
+        can repair rows that mention it.  When proofs are enabled, a merging
+        union records one justification edge ``a — b`` (between the ids as
+        passed, so the proof forest stays connected inside each class);
+        ``reason`` defaults to an explicit union.
         """
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
@@ -94,16 +108,18 @@ class UnionFind:
         self._size[ra] += self._size[rb]
         self._dirty.add(rb)
         self._n_unions += 1
+        if self.proofs is not None:
+            self.proofs.record(a, b, reason if reason is not None else EXPLICIT)
         return ra
 
-    def union_all(self, ids: Iterable[int]) -> int:
+    def union_all(self, ids: Iterable[int], reason: Optional[Justification] = None) -> int:
         """Merge every id in ``ids`` into a single class."""
         ids = list(ids)
         if not ids:
             raise ValueError("union_all requires at least one id")
         root = self.find(ids[0])
         for other in ids[1:]:
-            root = self.union(root, other)
+            root = self.union(root, other, reason)
         return root
 
     @property
@@ -124,19 +140,26 @@ class UnionFind:
 
     def snapshot(self) -> tuple:
         """Capture the full union-find state for a later :meth:`restore`."""
-        return (list(self._parent), list(self._size), set(self._dirty), self._n_unions)
+        forest = self.proofs.snapshot() if self.proofs is not None else None
+        return (list(self._parent), list(self._size), set(self._dirty), self._n_unions, forest)
 
     def restore(self, state: tuple) -> None:
         """Reinstall a state captured by :meth:`snapshot`.
 
         Ids allocated after the snapshot simply cease to exist; callers must
         not use values that leak out of the snapshotted scope.
+
+        Copies defensively: installing the snapshot's own lists by reference
+        would let post-restore unions mutate the saved tuple, silently
+        corrupting a second restore of the same snapshot.
         """
-        parent, size, dirty, n_unions = state
-        self._parent = parent
-        self._size = size
-        self._dirty = dirty
+        parent, size, dirty, n_unions, forest = state
+        self._parent = list(parent)
+        self._size = list(size)
+        self._dirty = set(dirty)
         self._n_unions = n_unions
+        if self.proofs is not None and forest is not None:
+            self.proofs.restore(forest)
 
     def class_members(self, ident: int) -> List[int]:
         """Return all ids currently in the same class as ``ident``.

@@ -134,9 +134,28 @@ def i64(value: int) -> Value:
     return Value(I64, value)
 
 
+# All NaN payloads collapse onto this single object.  ``NaN != NaN`` would
+# otherwise defeat hash-consed equality (dict probes compare by identity
+# first, then ``==``), so distinct NaN objects used as table keys or interned
+# values would silently never match.  Sharing one object restores reflexive
+# key equality and a stable hash without special-casing the hot Value paths.
+_CANONICAL_NAN = float("nan")
+
+
 def f64(value: float) -> Value:
-    """Construct an ``f64`` value."""
-    return Value(F64, float(value))
+    """Construct an ``f64`` value.
+
+    Payloads are canonicalized: every NaN maps to one shared NaN object
+    (restoring key equality, since containers match identical objects before
+    calling ``==``) and ``-0.0`` collapses to ``0.0`` (the two compare equal
+    but print differently, which would leak nondeterminism into output).
+    """
+    data = float(value)
+    if data != data:
+        data = _CANONICAL_NAN
+    elif data == 0.0:
+        data = 0.0  # Collapse -0.0.
+    return Value(F64, data)
 
 
 def boolean(value: bool) -> Value:

@@ -41,7 +41,7 @@ from ..engine.schedule import (
     saturate,
     seq,
 )
-from .egraph import EGraph, Extracted
+from .egraph import EGraph, Explanation, ExplainStep, Extracted
 from .errors import (
     ArityError,
     DslError,
@@ -88,6 +88,8 @@ __all__ = [
     "DuplicateDeclarationError",
     "EGraph",
     "Eq",
+    "ExplainStep",
+    "Explanation",
     "Expr",
     "Extracted",
     "Function",

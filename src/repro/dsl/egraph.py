@@ -102,6 +102,48 @@ class Extracted:
         return str(self.term)
 
 
+@dataclass(frozen=True)
+class ExplainStep:
+    """One step of an :class:`Explanation`: ``lhs`` ~ ``rhs`` because of a
+    rule firing (``kind == "rule"``), a congruence repair
+    (``kind == "congruence"``), or an explicit union (``kind == "union"``).
+
+    ``lhs``/``rhs`` are eq-sorted engine values (e-node ids) and ``name``
+    is the rule or function name (empty for explicit unions).
+    """
+
+    lhs: Value
+    rhs: Value
+    kind: str
+    name: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.name}".rstrip()
+
+
+@dataclass(frozen=True, eq=False)
+class Explanation:
+    """Result of :meth:`EGraph.explain`: a minimal justified rewrite chain.
+
+    ``steps`` is connected — each step's ``rhs`` is the next step's ``lhs``
+    — and empty when both expressions denote the very same e-node.
+    """
+
+    sort: Sort
+    lhs: Value
+    rhs: Value
+    steps: "tuple[ExplainStep, ...]"
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[ExplainStep]:
+        return iter(self.steps)
+
+    def __str__(self) -> str:
+        return " ; ".join(str(step) for step in self.steps) or "reflexivity"
+
+
 class EGraph:
     """A typed egglog engine: the blessed embedded surface.
 
@@ -115,8 +157,11 @@ class EGraph:
         *,
         strategy: str = "indexed",
         registry: Optional[PrimitiveRegistry] = None,
+        proofs: bool = True,
     ) -> None:
-        self.engine = EngineEGraph(strategy=strategy, registry=registry)
+        self.engine = EngineEGraph(
+            strategy=strategy, registry=registry, proofs=proofs
+        )
         self._sorts: Dict[str, Sort] = dict(BUILTIN_SORT_HANDLES)
         self._functions: Dict[str, Function] = {}
         self._rulesets: Dict[str, Ruleset] = {}
@@ -443,6 +488,47 @@ class EGraph:
         except DslError:
             typed = None
         return Extracted(cost, best, typed)
+
+    # -- explanation ----------------------------------------------------------
+
+    def explain(self, lhs: Expr, rhs: object) -> Explanation:
+        """Why are two ground eq-sorted expressions equal?
+
+        Returns a typed :class:`Explanation` whose steps name the rule,
+        congruence function, or explicit union that merged their endpoints.
+        Raises :class:`DslError` when proofs are disabled, an expression is
+        absent from the e-graph, or the two are not equal.
+        """
+        if not isinstance(lhs, Expr):
+            raise DslError(f"explain() needs a DSL expression, got {lhs!r}")
+        if not lhs.sort.is_eq_sort:
+            raise SortMismatchError(
+                f"explain() needs eq-sorted expressions, got sort {lhs.sort.name!r}"
+            )
+        rhs_expr = lift(rhs, lhs.sort, "explain right-hand side")
+        try:
+            raw = self.engine.explain(
+                self._require_ground(lhs, "explain()"),
+                self._require_ground(rhs_expr, "explain()"),
+            )
+        except EGraphError as error:
+            raise DslError(str(error)) from error
+        sort_name = raw.sort
+        steps = tuple(
+            ExplainStep(
+                Value(sort_name, step.lhs),
+                Value(sort_name, step.rhs),
+                step.justification.kind,
+                step.justification.name,
+            )
+            for step in raw.steps
+        )
+        return Explanation(
+            self._resolve_sort(sort_name, "explain()"),
+            Value(sort_name, raw.lhs),
+            Value(sort_name, raw.rhs),
+            steps,
+        )
 
     def expr_of(self, term: Term, expected: Optional[Sort] = None) -> Expr:
         """Re-type a core term through this egraph's handles.

@@ -123,6 +123,7 @@ def set_function_value(
     old = table.get(key)
     if old is None:
         table.put(key, new, egraph.timestamp)
+        egraph.record_node(decl.name, key, new)
         egraph.note_update()
         return True
     if old == new or egraph.canonicalize(old) == egraph.canonicalize(new):

@@ -29,6 +29,7 @@ from ..core.builtins import PrimitiveRegistry, default_registry
 from ..core.database import Table
 from ..core.genericjoin import search_generic, search_generic_adhoc
 from ..core.index import plan_query
+from ..core.proofs import EXPLICIT, Explanation, Justification
 from ..core.query import Query, Substitution, search_indexed
 from ..core.schema import MERGE_ERROR, MERGE_UNION, FunctionDecl, RunReport
 from ..core.terms import Term, TermApp, TermLit, TermLike, TermVar, as_term
@@ -72,6 +73,10 @@ class EGraph:
     maintained trie indexes, as in relational e-matching), or
     ``"generic-adhoc"`` (generic join rebuilding its tries on every
     execution — the pre-index baseline kept for benchmarking).
+
+    ``proofs`` (default True) keeps a proof forest alongside the union-find
+    so :meth:`explain` can answer *why* two terms are equal; disable it to
+    shave the per-union bookkeeping when explanations are never needed.
     """
 
     def __init__(
@@ -79,8 +84,23 @@ class EGraph:
         *,
         strategy: str = "indexed",
         registry: Optional[PrimitiveRegistry] = None,
+        proofs: bool = True,
     ) -> None:
-        self.uf = UnionFind()
+        self.uf = UnionFind(proofs=proofs)
+        #: Ambient justification attached to unions whose call site doesn't
+        #: pass one explicitly — the scheduler sets it to the firing rule
+        #: around the apply phase and rebuilding sets it to the congruence
+        #: step around each table repair (see :meth:`set_union_reason`).
+        self._reason: Justification = EXPLICIT
+        #: Proof-node log: ``(func, key-as-first-inserted) -> raw output``.
+        #: Rebuilding canonicalizes rows and merges congruent ones, which
+        #: destroys the original e-node ids in the database; explanations
+        #: need them (the proof forest's edges join *original* ids), so
+        #: every eq-sorted insertion is remembered here append-only.  None
+        #: when proofs are disabled.
+        self._proof_log: Optional[Dict[Tuple[str, Key], Value]] = (
+            {} if proofs else None
+        )
         self.registry = registry if registry is not None else default_registry()
         self.sorts: Dict[str, Sort] = dict(BUILTIN_SORTS)
         #: Names of declared eq-sorts — the canonicalize fast path tests
@@ -378,8 +398,16 @@ class EGraph:
         root = self.uf.find(data)
         return value if root == data else Value(sort, root)
 
-    def union_values(self, a: Value, b: Value) -> Value:
-        """Merge two values: union e-class ids, require equality on primitives."""
+    def union_values(
+        self, a: Value, b: Value, reason: Optional[Justification] = None
+    ) -> Value:
+        """Merge two values: union e-class ids, require equality on primitives.
+
+        ``reason`` justifies the union in the proof forest; when omitted the
+        ambient reason applies (explicit union outside rule/rebuild scopes).
+        The union-find receives the *original* ids, not their roots, so the
+        proof forest records an edge between the e-nodes actually named.
+        """
         sort = a[0]  # type: ignore[index]
         if sort != b[0]:  # type: ignore[index]
             raise EGraphError(f"cannot union values of different sorts: {a!r}, {b!r}")
@@ -387,12 +415,24 @@ class EGraph:
             if a != b:
                 raise EGraphError(f"cannot union distinct primitive values {a!r}, {b!r}")
             return a
-        ra, rb = self.uf.find(a[1]), self.uf.find(b[1])  # type: ignore[index]
-        if ra == rb:
-            return Value(sort, ra)
-        root = self.uf.union(ra, rb)
-        self.note_update()
+        da, db = a[1], b[1]  # type: ignore[index]
+        uf = self.uf
+        before = uf.n_unions
+        root = uf.union(da, db, reason if reason is not None else self._reason)
+        if uf.n_unions != before:
+            self.note_update()
         return Value(sort, root)
+
+    def set_union_reason(self, reason: Justification) -> Justification:
+        """Install the ambient union justification; returns the previous one.
+
+        Callers must restore the previous reason in a ``finally`` block —
+        the scheduler scopes it per applied rule and rebuilding scopes it
+        per repaired table.
+        """
+        previous = self._reason
+        self._reason = reason
+        return previous
 
     # -- term evaluation ------------------------------------------------------
 
@@ -448,8 +488,20 @@ class EGraph:
             return None
         value = self._default_value(decl, key)
         table.put(key, self.canonicalize(value), self.timestamp)
+        self.record_node(decl.name, key, value)
         self.note_update()
         return value
+
+    def record_node(self, func: str, key: Key, value: Value) -> None:
+        """Log an eq-sorted insertion's raw output id for proof production.
+
+        No-op when proofs are disabled or the output is primitive.  The
+        first recording wins: the log preserves the term's *original*
+        e-node id even after rebuilding rewrites or merges its row.
+        """
+        log = self._proof_log
+        if log is not None and value[0] in self._eq_sorts:  # type: ignore[index]
+            log.setdefault((func, key), value)
 
     def _default_value(self, decl: FunctionDecl, key: Key) -> Value:
         default = decl.default
@@ -616,6 +668,9 @@ class EGraph:
                 "rulesets": {name: list(rules) for name, rules in self.rulesets.items()},
                 "timestamp": self.timestamp,
                 "updates": self._updates,
+                "proof_log": (
+                    dict(self._proof_log) if self._proof_log is not None else None
+                ),
             }
         )
         # Rules compiled before the push must not run against the pushed
@@ -655,6 +710,10 @@ class EGraph:
             self.rulesets = snap["rulesets"]
             self.timestamp = snap["timestamp"]
             self._updates = snap["updates"]
+            if self._proof_log is not None and snap["proof_log"] is not None:
+                # Nodes logged after the push reference ids that no longer
+                # exist once the union-find snapshot is reinstalled.
+                self._proof_log = dict(snap["proof_log"])
         self._eq_sorts = {
             name for name, sort in self.sorts.items() if sort.is_eq_sort
         }
@@ -825,6 +884,87 @@ class EGraph:
         visiting = visiting | {class_id}
         children = tuple(self._term_of(best, child, visiting)[1] for child in key)
         return cost, TermApp(func, children)
+
+    # -- explanation (proof production) ----------------------------------------
+
+    def explain(self, lhs: TermLike, rhs: TermLike) -> Explanation:
+        """Why are ``lhs`` and ``rhs`` equal?  A minimal justified chain.
+
+        Both terms must already be in the database (pure lookup — explain
+        never inserts) and denote the same e-class of an eq-sort.  The
+        returned :class:`~repro.core.proofs.Explanation` is the unique proof
+        forest path between the two e-nodes: each step names the rule,
+        congruence function, or explicit union that merged its endpoints.
+        Raises :class:`EGraphError` when proofs are disabled, a term is
+        absent, or the terms are not equal.
+        """
+        if self.uf.proofs is None:
+            raise EGraphError(
+                "proofs are disabled on this EGraph (construct with proofs=True)"
+            )
+        self._ensure_canonical()
+        lt, rt = as_term(lhs), as_term(rhs)
+        a = self.eval_term(lt, insert=False)
+        if a is None:
+            raise EGraphError(f"explain: term {lt} is not in the e-graph")
+        b = self.eval_term(rt, insert=False)
+        if b is None:
+            raise EGraphError(f"explain: term {rt} is not in the e-graph")
+        sort = a.sort
+        if sort != b.sort:
+            raise EGraphError(
+                f"explain: terms have different sorts ({sort} vs {b.sort})"
+            )
+        if sort not in self._eq_sorts:
+            raise EGraphError(
+                f"explain: sort {sort!r} is primitive; only eq-sorted terms "
+                f"carry proofs"
+            )
+        if self.uf.find(a.data) != self.uf.find(b.data):
+            raise EGraphError(f"explain: {lt} and {rt} are not equal")
+        # The lookups above are class-level (canonicalized); the chain runs
+        # between the terms' original e-nodes, recovered from the node log.
+        na, nb = self._node_of(lt), self._node_of(rt)
+        assert na is not None and nb is not None  # both terms are present
+        steps = self.uf.proofs.explain_path(na.data, nb.data)
+        if steps is None:  # pragma: no cover - forest tracks every union
+            raise EGraphError(
+                f"explain: proof forest has no path between {lt} and {rt}"
+            )
+        return Explanation(sort, na.data, nb.data, tuple(steps))
+
+    def _node_of(self, term: Term) -> Optional[Value]:
+        """Resolve a ground term to its original e-node value (raw id).
+
+        Children resolve recursively to raw node ids; the exact raw key hits
+        the proof log when the term was inserted before its children were
+        merged away.  Otherwise the current row under the canonical key
+        supplies a (still class-correct) member id.
+        """
+        if isinstance(term, TermLit):
+            return term.value
+        if not isinstance(term, TermApp):
+            raise EGraphError(f"explain requires a ground term, got {term!r}")
+        decl = self.decls.get(term.func)
+        if decl is None:
+            return self.eval_term(term, insert=False)  # primitive application
+        args: List[Value] = []
+        for arg in term.args:
+            value = self._node_of(arg)
+            if value is None:
+                return None
+            args.append(value)
+        raw_key = tuple(args)
+        log = self._proof_log
+        if log is not None:
+            hit = log.get((term.func, raw_key))
+            if hit is not None:
+                return hit
+        canon_key = tuple([self.canonicalize(v) for v in raw_key])
+        table = self.tables.get(term.func)
+        if table is None:
+            return None
+        return table.get(canon_key)
 
     # -- introspection --------------------------------------------------------
 

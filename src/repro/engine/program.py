@@ -36,6 +36,7 @@ from ..core.compile import (
     MatchTuple,
     assign_slots,
 )
+from ..core.proofs import Justification, rule_justification
 from ..core.terms import Term, TermApp, TermLit, TermVar
 from ..core.values import UNIT, UNIT_VALUE, Value
 from .actions import Action, Delete, Expr, Let, Panic, Set as SetAction, Union
@@ -143,6 +144,8 @@ def compile_term(egraph: "EGraph", term: Term, env: Dict[str, int]) -> TermFn:
 
             assert_fact.canonical = True  # type: ignore[attr-defined]
             return assert_fact
+        record_node = egraph.record_node
+        func_name = decl.name
         if decl.default is None and out_is_eq:
             # Constructor/eq-sorted function: the default is a fresh e-class
             # id (the paper's make-set default), canonical by construction.
@@ -156,6 +159,7 @@ def compile_term(egraph: "EGraph", term: Term, env: Dict[str, int]) -> TermFn:
                     return canonicalize(existing)
                 value = make_id(out_sort)
                 table_put(key, value, egraph.timestamp)
+                record_node(func_name, key, value)
                 note_update()
                 return value
 
@@ -170,6 +174,7 @@ def compile_term(egraph: "EGraph", term: Term, env: Dict[str, int]) -> TermFn:
                 return canonicalize(existing) if out_is_eq else existing
             value = default_value(decl, key)
             table_put(key, canonicalize(value), egraph.timestamp)
+            record_node(func_name, key, value)
             note_update()
             return value
 
@@ -235,8 +240,15 @@ def compile_actions(
     actions: Sequence[Action],
     slot_of: Dict[str, int],
     n_slots: int,
+    reason: Optional[Justification] = None,
 ) -> ActionProgram:
-    """Lower ``actions`` into an :class:`ActionProgram` over rule slots."""
+    """Lower ``actions`` into an :class:`ActionProgram` over rule slots.
+
+    ``reason`` is baked into every compiled union op so the proof forest
+    records fire-time rule identity even though the closure outlives the
+    compilation — it shares the executor cache's lifetime (compile epoch),
+    so a replaced rule's fresh executor carries the fresh justification.
+    """
     env = dict(slot_of)
     n_regs = n_slots
     ops: List[OpFn] = []
@@ -260,9 +272,12 @@ def compile_actions(
             union_values = egraph.union_values
 
             def union_op(
-                regs: Regs, lf: TermFn = lhs_fn, rf: TermFn = rhs_fn
+                regs: Regs,
+                lf: TermFn = lhs_fn,
+                rf: TermFn = rhs_fn,
+                why: Optional[Justification] = reason,
             ) -> None:
-                union_values(lf(regs), rf(regs))
+                union_values(lf(regs), rf(regs), why)
 
             ops.append(union_op)
         elif isinstance(action, SetAction):
@@ -337,11 +352,24 @@ class RuleExec:
     declarations that those operations may replace).
     """
 
-    __slots__ = ("epoch", "strategy", "slot_of", "slot_names", "n_slots", "query_exec", "program")
+    __slots__ = (
+        "epoch",
+        "strategy",
+        "slot_of",
+        "slot_names",
+        "n_slots",
+        "query_exec",
+        "program",
+        "reason",
+    )
 
     def __init__(self, egraph: "EGraph", rule: "CompiledRule", strategy: str) -> None:
         self.epoch = egraph.compile_epoch
         self.strategy = strategy
+        #: Justification for unions this rule performs; baked into the
+        #: compiled union ops and installed as the ambient reason while the
+        #: scheduler applies this rule's matches.
+        self.reason = rule_justification(rule.name)
         slot_of, slot_names = assign_slots(rule.query)
         self.slot_of = slot_of
         self.slot_names = slot_names
@@ -361,7 +389,9 @@ class RuleExec:
             )
         else:
             raise EGraphError(f"no compiled executor for strategy {strategy!r}")
-        self.program = compile_actions(egraph, rule.actions, slot_of, self.n_slots)
+        self.program = compile_actions(
+            egraph, rule.actions, slot_of, self.n_slots, self.reason
+        )
 
     def search_full(self, tables: Dict[str, object]) -> List[MatchTuple]:
         """All matches of the query (no delta restriction), in plan order."""

@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Set, Tuple
 
 from ..core.database import Table
+from ..core.proofs import congruence_justification
 from ..core.values import Value
 from .actions import set_function_value
 
@@ -85,6 +86,9 @@ def _repair_table(egraph: "EGraph", table: Table, dirty: Set[int]) -> int:
                     seen.add(key)
                     stale.append(key)
 
+    if not stale:
+        return 0  # No row of this table mentions a dirty id.
+
     # The index probes above are done for this round, and the writes below
     # only read rows (never indexes), so the remove/re-insert churn of the
     # repair loop batches its index maintenance: a key whose canonical form
@@ -98,6 +102,10 @@ def _repair_table(egraph: "EGraph", table: Table, dirty: Set[int]) -> int:
     use_batch = len(stale) > 8
     if use_batch:
         table.begin_batch()
+    # Output collisions resolved below are congruence steps on this function
+    # (``a = b ==> f(a) = f(b)``); scope the ambient union justification so
+    # the proof forest records them as such.
+    prev_reason = egraph.set_union_reason(congruence_justification(decl.name))
     try:
         for key in stale:
             row = table.get_row(key)
@@ -109,6 +117,7 @@ def _repair_table(egraph: "EGraph", table: Table, dirty: Set[int]) -> int:
             set_function_value(egraph, decl, canon_key, canon_value)
             repaired += 1
     finally:
+        egraph.set_union_reason(prev_reason)
         if use_batch:
             table.end_batch()
     return repaired

@@ -150,8 +150,16 @@ class Scheduler:
         try:
             for rule, exec_, matches in searched:
                 execute = exec_.program.execute
-                for match in matches:
-                    execute(match)
+                # Compiled union ops carry the rule's justification baked in
+                # (``RuleExec.reason``); the ambient reason additionally
+                # covers unions reached indirectly — e.g. merge-fn unions
+                # triggered by this rule's ``set`` actions.
+                prev_reason = egraph.set_union_reason(exec_.reason)
+                try:
+                    for match in matches:
+                        execute(match)
+                finally:
+                    egraph.set_union_reason(prev_reason)
                 rule.last_run = egraph.timestamp
         finally:
             for table in egraph.tables.values():

@@ -42,6 +42,7 @@ from .parser import (
     Command,
     DatatypeCmd,
     DeleteCmd,
+    ExplainCmd,
     ExtractCmd,
     FunctionCmd,
     LetCmd,
@@ -571,6 +572,24 @@ class Evaluator:
         for line in sorted(results):
             self.emit(f"  {line}")
 
+    def _do_explain(self, cmd: ExplainCmd) -> None:
+        """Print the proof chain for ``(explain <e1> <e2>)``.
+
+        One line per step naming its justification (``rule <name>``,
+        ``congruence <func>``, or ``union``); terms hash-consed to the same
+        e-node print a zero-step reflexive chain.
+        """
+        self.egraph.rebuild()
+        lhs = self._lower_expr(cmd.lhs, pattern=False)
+        rhs = self._lower_expr(cmd.rhs, pattern=False)
+        explanation = self.egraph.explain(lhs, rhs)
+        self.emit(
+            f"explain: {format_term(lhs)} = {format_term(rhs)}: "
+            f"{len(explanation.steps)} step(s)"
+        )
+        for index, step in enumerate(explanation.steps, start=1):
+            self.emit(f"  {index}. {step.justification.describe()}")
+
     def _do_push(self, cmd: PushCmd) -> None:
         for _ in range(cmd.count):
             self.egraph.push()
@@ -605,6 +624,7 @@ class Evaluator:
         CheckCmd: _do_check,
         ExtractCmd: _do_extract,
         QueryExtractCmd: _do_query_extract,
+        ExplainCmd: _do_explain,
         PushCmd: _do_push,
         PopCmd: _do_pop,
     }

@@ -139,6 +139,14 @@ class QueryExtractCmd(Command):
 
 
 @dataclass(frozen=True)
+class ExplainCmd(Command):
+    """``(explain <e1> <e2>)``: print why two ground terms are equal."""
+
+    lhs: Sexp
+    rhs: Sexp
+
+
+@dataclass(frozen=True)
 class PushCmd(Command):
     count: int = 1
 
@@ -205,6 +213,7 @@ class Parser:
         "check": "_parse_check",
         "extract": "_parse_extract",
         "query-extract": "_parse_query_extract",
+        "explain": "_parse_explain",
         "push": "_parse_push",
         "pop": "_parse_pop",
     }
@@ -443,6 +452,10 @@ class Parser:
                 "'query-extract' expects an expression and at least one fact"
             )
         return QueryExtractCmd(form.loc, form.args[0], tuple(form.args[1:]))
+
+    def _parse_explain(self, form: _Form) -> ExplainCmd:
+        self._exact(form, 2, "two expressions")
+        return ExplainCmd(form.loc, form.args[0], form.args[1])
 
     def _parse_push(self, form: _Form) -> PushCmd:
         return PushCmd(form.loc, self._count(form))

@@ -189,7 +189,15 @@ class _Reader:
             chars.append(self.advance())
         text = "".join(chars)
         if _INT_RE.match(text):
-            return Literal(loc, i64(int(text)))
+            try:
+                return Literal(loc, i64(int(text)))
+            except ValueError:
+                # CPython caps str->int conversion (sys.int_info.str_digits_
+                # check_threshold); a longer literal must surface as a
+                # located parse error, not a raw ValueError.
+                raise self.error(
+                    f"integer literal too large ({len(text)} digits)", loc
+                ) from None
         if _FLOAT_RE.match(text):
             return Literal(loc, f64(float(text)))
         if text in ("true", "false"):

@@ -53,9 +53,14 @@ def test_unknown_graph_kind_rejected():
         transitive_closure("torus", n=4)
 
 
-def test_default_workloads_cover_three_families():
+def test_default_workloads_cover_all_families():
     families = {w.family for w in default_workloads(quick=True)}
-    assert families == {"transitive-closure", "math-rewriting", "congruence-closure"}
+    assert families == {
+        "transitive-closure",
+        "math-rewriting",
+        "congruence-closure",
+        "proof-production",
+    }
 
 
 # -- runner -------------------------------------------------------------------
@@ -280,3 +285,23 @@ def test_compare_errors_when_nothing_to_compare(tmp_path, capsys):
     write_document(run_workload(tiny_tc(), TINY_VARIANTS, repeats=1), fresh)
     assert compare_main([str(fresh), "--against", str(empty)]) == 1
     assert "nothing to compare" in capsys.readouterr().out
+
+
+def test_compare_flags_zero_baseline_instead_of_dividing(tmp_path, capsys):
+    # Regression guard: a committed median of 0.0 used to make every fresh
+    # time "within tolerance" (0 * 1.5 == 0 passes nothing, and a ratio
+    # would divide by zero); now it is its own named problem.
+    from repro.bench.compare import main as compare_main
+
+    committed, fresh = _gate_documents(tmp_path)
+    path = committed / "BENCH_tc_chain.json"
+    document = json.loads(path.read_text())
+    for entry in document["variants"].values():
+        entry["run_s_stats"]["median"] = 0.0
+        entry["run_s"] = 0.0
+    path.write_text(json.dumps(document))
+    assert compare_main([str(fresh), "--against", str(committed)]) == 1
+    out = capsys.readouterr().out
+    assert "tc_chain" in out
+    assert "zero/near-zero" in out
+    assert "refresh the committed BENCH file" in out

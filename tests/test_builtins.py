@@ -106,3 +106,44 @@ def test_result_sort_is_best_effort():
     assert REG.result_sort("+", (I64, I64)) == I64
     assert REG.result_sort("<", (I64, I64)) == BOOL
     assert REG.result_sort("no-such-prim", (I64,)) is None
+
+
+def test_f64_nan_values_are_interchangeable():
+    # Regression: two NaNs built from different float objects used to be
+    # distinct dict keys (containers check identity before ==), so a NaN
+    # stored under one key was unreachable through another.  f64 now
+    # canonicalizes every NaN payload onto one shared object.
+    a = f64(float("nan"))
+    b = f64(float("inf") - float("inf"))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert {a: 1}[b] == 1
+    assert a.data is b.data
+
+
+def test_f64_negative_zero_collapses_to_positive_zero():
+    assert f64(-0.0) == f64(0.0)
+    import math
+
+    assert math.copysign(1.0, f64(-0.0).data) == 1.0
+    assert {f64(-0.0): "z"}[f64(0.0)] == "z"
+
+
+def test_f64_nan_and_zero_round_trip_through_tables():
+    from repro.core.terms import App, L
+    from repro.engine import EGraph, Set
+    from repro.engine.actions import run_actions
+
+    eg = EGraph()
+    eg.function("nan_at", ("f64",), "i64")
+    eg.function("measure", ("i64",), "f64", merge=lambda old, new: new)
+    # NaN as an output: looking the row up must return the stored value
+    # even though NaN != NaN.
+    run_actions(eg, [Set(App("measure", L(1)), L(f64(float("nan"))))], {})
+    got = eg.lookup(App("measure", 1))
+    assert got is not None and got.data != got.data
+    # NaN and -0.0 as keys: a fresh NaN / +0.0 literal reaches the row.
+    run_actions(eg, [Set(App("nan_at", L(f64(float("nan")))), L(7))], {})
+    run_actions(eg, [Set(App("nan_at", L(f64(-0.0))), L(8))], {})
+    assert eg.lookup(App("nan_at", f64(float("inf") - float("inf")))) == i64(7)
+    assert eg.lookup(App("nan_at", f64(0.0))) == i64(8)

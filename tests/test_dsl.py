@@ -557,3 +557,19 @@ def test_expr_of_rejects_ill_typed_terms():
         eg.expr_of(TermApp("Num", (sym("a").term,)))
     with pytest.raises(DslError):
         eg.expr_of(TermVar("x"))  # no expected sort to adopt
+
+
+def test_pop_beyond_depth_raises_dsl_error_and_preserves_scope():
+    eg = EGraph()
+    with pytest.raises(DslError, match=r"pop 1 without matching push \(stack depth 0\)"):
+        eg.pop()
+    eg.push()
+    s = eg.sort("Scoped")
+    with pytest.raises(DslError, match=r"pop 2 without matching push \(stack depth 1\)"):
+        eg.pop(2)
+    # The failed pop neither consumed the snapshot nor staled the handle.
+    c = eg.constructor("C", (), s)
+    eg.add(c())
+    assert eg.pop() == 0
+    with pytest.raises(StaleHandleError):
+        c()

@@ -388,3 +388,21 @@ def test_pop_restores_seminaive_watermarks():
     eg.add(App("edge", 2, 5))
     eg.run(10)
     assert (i64(1), i64(5)) in dict(eg.table_rows("path"))
+
+
+def test_pop_error_messages_and_state_survival():
+    # Regression guard: over-deep pops must raise the precise diagnostic
+    # (not IndexError) and leave every intact snapshot poppable.
+    eg = EGraph()
+    with pytest.raises(EGraphError, match=r"pop 1 without matching push \(stack depth 0\)"):
+        eg.pop()
+    eg.push()
+    eg.declare_sort("S")
+    with pytest.raises(EGraphError, match=r"pop 3 without matching push \(stack depth 1\)"):
+        eg.pop(3)
+    with pytest.raises(EGraphError, match="pop count must be positive"):
+        eg.pop(-1)
+    # The failed pops consumed nothing: the one real snapshot still works.
+    assert "S" in eg.sorts
+    assert eg.pop() == 0
+    assert "S" not in eg.sorts

@@ -471,3 +471,74 @@ def test_run_program_returns_only_this_calls_lines():
 def test_sexp_literal_str_escapes_strings():
     (lit,) = parse_sexps(r'"a\"b"')
     assert str(lit) == r'"a\"b"'
+
+
+# -- reader robustness (fuzz) -------------------------------------------------
+
+
+def test_huge_integer_literal_is_a_parse_error():
+    # CPython caps str->int conversion; the reader must surface the cap as
+    # a located ParseError, not leak the bare ValueError.
+    import sys
+
+    digits = sys.int_info.default_max_str_digits + 100
+    with pytest.raises(ParseError) as exc:
+        parse_sexps("(f %s)" % ("9" * digits))
+    assert "integer literal too large" in str(exc.value)
+    assert f"{digits} digits" in str(exc.value)
+    # Just under the cap still parses as a literal.
+    ok_digits = sys.get_int_max_str_digits() - 1
+    (node,) = parse_sexps("1".ljust(ok_digits, "0"))
+    assert isinstance(node, Literal)
+
+
+def _structure(node):
+    if isinstance(node, SList):
+        return ("list", tuple(_structure(item) for item in node.items))
+    if isinstance(node, Literal):
+        return ("lit", node.value)
+    return ("sym", node.name)
+
+
+try:
+    from hypothesis import given, settings, strategies as st
+except ImportError:  # pragma: no cover - hypothesis is in the dev toolchain
+    pass
+else:
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_fuzz_reader_total_on_arbitrary_text(text):
+        # The reader is total: any input either parses or raises ParseError
+        # (never IndexError/ValueError/RecursionError), and every error
+        # carries a location.
+        try:
+            parse_sexps(text)
+        except ParseError as exc:
+            assert exc.loc is not None
+            assert exc.loc.line >= 1 and exc.loc.col >= 1
+
+    _atom_texts = st.one_of(
+        st.integers(min_value=-(2**70), max_value=2**70).map(str),
+        st.from_regex(r"[a-zA-Z+*/<>=_.!?-][a-zA-Z0-9+*/<>=_.!?-]{0,8}", fullmatch=True),
+        st.sampled_from(["true", "false", "3.5", "-0.25", "1e-3", '"hi"', '"a\\nb"']),
+    )
+
+    _sexp_texts = st.recursive(
+        _atom_texts,
+        lambda inner: st.lists(inner, max_size=5).map(
+            lambda items: "(" + " ".join(items) + ")"
+        ),
+        max_leaves=25,
+    )
+
+    @given(st.lists(_sexp_texts, max_size=6))
+    @settings(max_examples=75, deadline=None)
+    def test_fuzz_reader_round_trips_well_formed_programs(forms):
+        text = "\n".join(forms)
+        nodes = parse_sexps(text)
+        assert len(nodes) == len(forms)
+        # Re-rendering each node and re-parsing preserves the structure.
+        rendered = " ".join(str(node) for node in nodes)
+        again = parse_sexps(rendered)
+        assert [_structure(n) for n in again] == [_structure(n) for n in nodes]
