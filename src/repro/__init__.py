@@ -13,6 +13,7 @@ implements the paper's textual .egg language on top
 (``python -m repro program.egg``).
 """
 
+from ._version import __version__
 from .dsl import (
     DslError,
     EGraph,
@@ -40,8 +41,6 @@ from .dsl import (
 )
 from .errors import ReproError
 from .frontend import Evaluator, run_program
-
-__version__ = "0.1.0"
 
 __all__ = [
     "DslError",

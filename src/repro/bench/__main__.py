@@ -16,6 +16,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .._version import package_version
 from .runner import DEFAULT_VARIANTS, profile_workload, run_suite
 from .workloads import default_workloads
 
@@ -74,11 +75,27 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="cProfile each selected workload (top-20 cumulative functions) "
         "instead of timing; profiles the first selected variant's strategy",
     )
+    parser.add_argument(
+        "--replay",
+        metavar="SNAPSHOT",
+        help="instead of the suite: load this repro.snapshot/v1 file and "
+        "time its recorded replay schedule (warm-start bench)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro-bench {package_version()}",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
+    if args.replay:
+        from .replay import replay_snapshot
+
+        repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+        return replay_snapshot(args.replay, repeats=repeats)
     workloads = default_workloads(quick=args.quick, seed=args.seed)
     if args.only:
         workloads = [w for w in workloads if args.only in w.name]

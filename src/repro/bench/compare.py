@@ -87,6 +87,19 @@ def compare_documents(
                     f"{new_s / old_s:.2f}x ({old_s * 1000:.1f}ms -> "
                     f"{new_s * 1000:.1f}ms, tolerance {tolerance:.2f}x)"
                 )
+    # Cross-version context: BENCH documents stamp the engine version that
+    # measured them (schema v2+); a failing comparison across different
+    # versions often means the committed files predate an intentional
+    # change and need a refresh, not that the engine regressed.
+    old_version = committed.get("version")
+    new_version = fresh.get("version")
+    if problems and old_version != new_version:
+        problems.append(
+            f"{name}: note: committed file was measured by version "
+            f"{old_version or 'unknown'}, fresh run by "
+            f"{new_version or 'unknown'} — if the failures above reflect an "
+            f"intentional change, refresh the committed BENCH files"
+        )
     return problems
 
 

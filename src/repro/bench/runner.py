@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional
 
+from .._version import package_version
 from ..engine import EGraph
 from .workloads import Workload
 
@@ -133,6 +134,10 @@ def run_workload(
         "family": workload.family,
         "params": workload.params,
         "python": ".".join(str(part) for part in sys.version_info[:3]),
+        # Provenance: which engine build measured these numbers and whether
+        # proof production (the default) was on — both shift run times.
+        "version": package_version(),
+        "proofs": True,
         "variants": measured,
     }
     baseline = measured.get(BASELINE_VARIANT)

@@ -344,6 +344,22 @@ class Table:
         for trie in self._tries.values():
             trie.stale = True
 
+    def load_rows(self, entries: List[Tuple[Key, Value, int]]) -> None:
+        """Bulk-install rows from a deserialized snapshot.
+
+        Replaces the table's contents wholesale (keys in ``entries`` order,
+        which a snapshot records as the original insertion order) and
+        rebuilds the write log sorted by timestamp.  Like :meth:`restore`,
+        derived indexes are invalidated rather than maintained: hash indexes
+        are dropped and registered tries marked stale for lazy rebuild.
+        """
+        self.data = {key: Row(value, ts) for key, value, ts in entries}
+        self._compact_log()
+        self._pending.clear()
+        self._indexes.clear()
+        for trie in self._tries.values():
+            trie.stale = True
+
     # -- hash indexes ---------------------------------------------------------
 
     def index(self, columns: Tuple[int, ...]) -> HashIndex:

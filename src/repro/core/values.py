@@ -241,6 +241,16 @@ def register_literal_coercion(from_sort: str, to_sort: str, convert) -> None:
     _LITERAL_COERCIONS[(from_sort, to_sort)] = convert
 
 
+def literal_coercion_pairs() -> "list[tuple[str, str]]":
+    """The registered coercion pairs, sorted — stable for serialization.
+
+    Snapshots record these so a loader can verify the running process has
+    every coercion the saved session relied on (surface layers register
+    extras for their interpreted sorts).
+    """
+    return sorted(_LITERAL_COERCIONS)
+
+
 def coerce_literal(value: Value, sort_name: str) -> "Value | None":
     """Adapt a literal value to ``sort_name``; None if no sound coercion.
 

@@ -652,6 +652,136 @@ class EGraph:
         finally:
             self.pop()
 
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str) -> dict:
+        """Snapshot the engine plus the DSL's handle metadata to a file.
+
+        Sort declaration sites and operator bindings travel in the
+        document's ``surfaces.dsl`` section so a later
+        :meth:`from_snapshot` / :meth:`load` re-hydrates handles with their
+        original provenance and ``x * y`` keeps dispatching.  Functions
+        whose merge/default is an arbitrary Python callable are not
+        serializable and raise :class:`DslError` naming the declaration.
+        """
+        from ..serialize import SnapshotError
+
+        surfaces = {
+            "dsl": {
+                "sorts": [
+                    [sort.name, sort.decl_site]
+                    for sort in self._sorts.values()
+                    if sort.owner is self
+                ],
+                "operators": [
+                    [sort.name, op, fn.name]
+                    for sort in self._sorts.values()
+                    if sort.owner is self
+                    for op, fn in sort._ops.items()
+                ],
+            }
+        }
+        try:
+            return self.engine.save(path, surfaces=surfaces)
+        except SnapshotError as error:
+            raise DslError(str(error)) from error
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str,
+        *,
+        strategy: Optional[str] = None,
+        registry: Optional[PrimitiveRegistry] = None,
+    ) -> "EGraph":
+        """Construct a typed EGraph from a snapshot file.
+
+        Handles (sorts, functions, rulesets, operator bindings) are
+        re-hydrated from the engine state plus the snapshot's
+        ``surfaces.dsl`` section; snapshots written by other surfaces load
+        fine, with declaration sites defaulting to ``"<snapshot>"``.
+        """
+        from ..serialize import SnapshotError, load_engine
+
+        try:
+            engine, document = load_engine(path, strategy=strategy, registry=registry)
+        except SnapshotError as error:
+            raise DslError(str(error)) from error
+        self = cls.__new__(cls)
+        self.engine = engine
+        self._hydrate(document)
+        return self
+
+    def load(self, path: str, *, strategy: Optional[str] = None) -> None:
+        """Replace this EGraph's state — engine and handles — in place.
+
+        Handles declared before the load go stale (their declarations are
+        gone) and say so when used, exactly as after :meth:`pop`.  The
+        engine keeps its configured join strategy unless ``strategy``
+        overrides it.
+        """
+        from ..serialize import SnapshotError
+
+        try:
+            document = self.engine.load(path, strategy=strategy)
+        except SnapshotError as error:
+            raise DslError(str(error)) from error
+        self._hydrate(document)
+
+    def _hydrate(self, document: dict) -> None:
+        """Rebuild handle maps from the engine's loaded state.
+
+        The ``surfaces.dsl`` section (when present) supplies declaration
+        sites and operator bindings; everything else derives from the
+        engine: one :class:`Sort` handle per declared eq-sort, one
+        :class:`Function` handle per declaration, one :class:`Ruleset`
+        handle per engine ruleset.
+        """
+        surfaces = document.get("surfaces")
+        dsl = surfaces.get("dsl", {}) if isinstance(surfaces, dict) else {}
+        sites = {
+            entry[0]: entry[1]
+            for entry in dsl.get("sorts", [])
+            if isinstance(entry, list) and len(entry) == 2
+        }
+        self._sorts = dict(BUILTIN_SORT_HANDLES)
+        self._functions = {}
+        self._rulesets = {}
+        self._snapshots = []
+        for name, sort in self.engine.sorts.items():
+            if name in self._sorts:
+                continue
+            self._sorts[name] = Sort(
+                name,
+                is_eq_sort=sort.is_eq_sort,
+                owner=self,
+                decl_site=str(sites.get(name, "<snapshot>")),
+            )
+        for name, decl in self.engine.decls.items():
+            args = tuple(self._handle_of(s) for s in decl.arg_sorts)
+            out = self._handle_of(decl.out_sort)
+            self._functions[name] = Function(
+                self, decl, args, out, decl.decl_site or "<snapshot>"
+            )
+        for entry in dsl.get("operators", []):
+            if not isinstance(entry, list) or len(entry) != 3:
+                continue
+            sort_name, op, fn_name = entry
+            sort = self._sorts.get(sort_name)
+            fn = self._functions.get(fn_name)
+            if sort is None or sort.owner is not self or fn is None:
+                continue
+            if op in SUPPORTED_OPERATORS and sort.operator(op) is None:
+                sort.bind_operator(op, fn)
+        for name, rule_names in self.engine.rulesets.items():
+            rs = Ruleset(self, name, "<snapshot>")
+            rs.rule_names[:] = rule_names
+            self._rulesets[name] = rs
+
+    def _handle_of(self, sort_name: str) -> Sort:
+        handle = self._sorts.get(sort_name)
+        return handle if handle is not None else builtin_sort_handle(sort_name)
+
     # -- introspection --------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:

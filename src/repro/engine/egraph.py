@@ -369,6 +369,9 @@ class EGraph:
             def prim_merge(old: Value, new: Value) -> Optional[Value]:
                 return registry.call(prim_name, (old, new))
 
+            # The primitive's name rides on the closure so snapshots can
+            # serialize the merge as a name rather than an opaque callable.
+            prim_merge.__repro_prim__ = prim_name  # type: ignore[attr-defined]
             return prim_merge
         if callable(merge):
             return merge
@@ -965,6 +968,71 @@ class EGraph:
         if table is None:
             return None
         return table.get(canon_key)
+
+    # -- persistence (repro.serialize) -----------------------------------------
+
+    def save(
+        self,
+        path: str,
+        *,
+        surfaces: Optional[dict] = None,
+        replay: Optional[dict] = None,
+    ) -> dict:
+        """Write the entire engine state to a ``repro.snapshot/v1`` file.
+
+        Everything observable is captured — declarations, rows, the
+        union-find with its proof forest, rules and their semi-naïve
+        watermarks, the scheduler epoch — but no derived state (indexes,
+        compiled executors) and not the push/pop stack.  ``surfaces`` and
+        ``replay`` are optional frontend-owned sections passed through
+        verbatim.  Returns the written document.
+        """
+        from ..serialize import save_engine
+
+        return save_engine(self, path, surfaces=surfaces, replay=replay)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str,
+        *,
+        strategy: Optional[str] = None,
+        registry: Optional[PrimitiveRegistry] = None,
+    ) -> "EGraph":
+        """Reconstruct an engine from a snapshot file.
+
+        ``strategy`` overrides the recorded join strategy (snapshots carry
+        no strategy-specific state, so they are freely portable between
+        strategies); ``registry`` substitutes a custom primitive registry,
+        which must provide every primitive the snapshot's rules and merges
+        reference.
+        """
+        from ..serialize import load_engine
+
+        engine, _document = load_engine(path, strategy=strategy, registry=registry)
+        return engine
+
+    def load(self, path: str, *, strategy: Optional[str] = None) -> dict:
+        """Replace this engine's state with a snapshot, in place.
+
+        External references to this ``EGraph`` object stay valid and see
+        the loaded state.  The push/pop stack empties (snapshots never
+        include it) and the current registry is kept.  Returns the loaded
+        document (callers can inspect its ``surfaces``/``replay`` sections).
+        """
+        from ..serialize import load_engine
+
+        fresh, document = load_engine(
+            path,
+            strategy=strategy if strategy is not None else self._strategy,
+            registry=self.registry,
+        )
+        self.__dict__.update(fresh.__dict__)
+        # The fresh engine's scheduler points at ``fresh``; rebind so runs
+        # drive *this* object (they now share no other state).
+        self.scheduler = Scheduler(self)
+        self._snapshots = []
+        return document
 
     # -- introspection --------------------------------------------------------
 

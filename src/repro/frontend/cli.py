@@ -4,6 +4,12 @@ Each file runs on a fresh engine, in argument order; output lines
 (``run``/``check``/``extract``/``query-extract`` results) stream to
 stdout.  The first failing file stops the run: its error is printed as
 ``file.egg:line:col: message`` on stderr and the exit status is 1.
+
+``--load SNAPSHOT`` warm-starts every file's session from a saved
+snapshot instead of an empty engine; ``--save SNAPSHOT`` writes the final
+session state (after the last file) back out.  With no files at all,
+``--load``/``--save`` together act as a snapshot round-trip/migration
+pass.
 """
 
 from __future__ import annotations
@@ -12,8 +18,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .._version import package_version
 from ..engine.egraph import SEARCH_STRATEGIES
 from ..errors import ReproError
+from ..serialize import SnapshotError
 from .evaluator import Evaluator
 
 
@@ -24,7 +32,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "files",
-        nargs="+",
+        nargs="*",
         metavar="FILE",
         help=".egg program files to run in order ('-' reads stdin)",
     )
@@ -40,6 +48,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print engine statistics, per-rule match counts, and phase "
         "timings after each file",
+    )
+    parser.add_argument(
+        "--load",
+        metavar="SNAPSHOT",
+        help="warm-start each session from this repro.snapshot/v1 file",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="SNAPSHOT",
+        help="write the final session state to this snapshot file",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {package_version()}",
     )
     return parser
 
@@ -79,14 +102,26 @@ def _read(path: str) -> "tuple[str, str]":
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_arg_parser().parse_args(argv)
-    for path in args.files:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    if not args.files and not (args.load or args.save):
+        parser.error("at least one FILE is required (or --load/--save)")
+    evaluator: Optional[Evaluator] = None
+    for path in args.files or [None]:
+        evaluator = Evaluator(strategy=args.strategy, sink=print)
+        if args.load:
+            try:
+                evaluator.load_snapshot(args.load)
+            except (OSError, SnapshotError) as error:
+                print(f"error: {args.load}: {error}", file=sys.stderr)
+                return 1
+        if path is None:
+            break  # no files: --load/--save round trip only
         try:
             text, name = _read(path)
         except OSError as error:
-            print(f"error: {error}", file=sys.stderr)
+            print(f"error: {path}: {error.strerror or error}", file=sys.stderr)
             return 1
-        evaluator = Evaluator(strategy=args.strategy, sink=print)
         try:
             evaluator.run_program(text, name)
         except ReproError as error:
@@ -94,4 +129,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         if args.stats:
             _print_stats(evaluator, name)
+    if args.save and evaluator is not None:
+        try:
+            evaluator.save_snapshot(args.save)
+        except (OSError, SnapshotError) as error:
+            print(f"error: {args.save}: {error}", file=sys.stderr)
+            return 1
     return 0

@@ -37,6 +37,8 @@ from .errors import (
     UnboundSymbolError,
     UnknownCommandError,
 )
+from ..serialize import SnapshotError
+from ..serialize.encode import decode_values, encode_values
 from .parser import (
     CheckCmd,
     Command,
@@ -46,6 +48,7 @@ from .parser import (
     ExtractCmd,
     FunctionCmd,
     LetCmd,
+    LoadCmd,
     PopCmd,
     PushCmd,
     QueryExtractCmd,
@@ -54,6 +57,7 @@ from .parser import (
     RuleCmd,
     RunCmd,
     RunScheduleCmd,
+    SaveCmd,
     SetCmd,
     SortCmd,
     TopAction,
@@ -289,6 +293,9 @@ class Evaluator:
         def merge_fn(old: Value, new: Value) -> Value:
             return egraph.eval_term(term, {"old": old, "new": new})
 
+        # The lowered term rides on the closure so snapshots can serialize
+        # the merge as an expression and reconstruct it on load.
+        merge_fn.__repro_term__ = term  # type: ignore[attr-defined]
         return merge_fn
 
     def _lower_default(self, sexp: Sexp, out_sort: str) -> Value:
@@ -607,6 +614,45 @@ class Evaluator:
         for _ in range(cmd.count):
             self.globals = self._globals_stack.pop()
 
+    # -- persistence ----------------------------------------------------------
+
+    def save_snapshot(self, path: str) -> None:
+        """Snapshot the engine plus this session's global ``let`` bindings.
+
+        The bindings travel in the document's ``surfaces.egg`` section
+        (insertion order preserved); engines loaded by other surfaces
+        simply ignore it.
+        """
+        surfaces = {"egg": {"globals": encode_values(self.globals)}}
+        self.egraph.save(path, surfaces=surfaces)
+
+    def load_snapshot(self, path: str) -> None:
+        """Replace the session state — engine and globals — with a snapshot.
+
+        The engine keeps its configured join strategy rather than adopting
+        the saved session's.  The push/pop stack empties: pops cannot cross
+        a load (there is no earlier in-session state to return to).
+        """
+        document = self.egraph.load(path)
+        surfaces = document.get("surfaces")
+        egg = surfaces.get("egg", {}) if isinstance(surfaces, dict) else {}
+        self.globals = decode_values(egg.get("globals", []), "egg globals")
+        self._globals_stack.clear()
+
+    def _do_save(self, cmd: SaveCmd) -> None:
+        try:
+            self.save_snapshot(cmd.path)
+        except (OSError, SnapshotError) as error:
+            raise EvalError(f"save failed: {error}", cmd.loc, self.filename) from error
+        self.emit(f"save: {cmd.path}")
+
+    def _do_load(self, cmd: LoadCmd) -> None:
+        try:
+            self.load_snapshot(cmd.path)
+        except (OSError, SnapshotError) as error:
+            raise EvalError(f"load failed: {error}", cmd.loc, self.filename) from error
+        self.emit(f"load: {cmd.path}")
+
     _HANDLERS = {
         SortCmd: _do_sort,
         DatatypeCmd: _do_datatype,
@@ -627,6 +673,8 @@ class Evaluator:
         ExplainCmd: _do_explain,
         PushCmd: _do_push,
         PopCmd: _do_pop,
+        SaveCmd: _do_save,
+        LoadCmd: _do_load,
     }
 
 

@@ -157,6 +157,20 @@ class PopCmd(Command):
 
 
 @dataclass(frozen=True)
+class SaveCmd(Command):
+    """``(save "path")``: snapshot the full engine + globals to a file."""
+
+    path: str
+
+
+@dataclass(frozen=True)
+class LoadCmd(Command):
+    """``(load "path")``: replace the session state with a snapshot."""
+
+    path: str
+
+
+@dataclass(frozen=True)
 class TopAction(Command):
     """A non-command top-level form, run as a ground action (e.g. a fact)."""
 
@@ -216,6 +230,8 @@ class Parser:
         "explain": "_parse_explain",
         "push": "_parse_push",
         "pop": "_parse_pop",
+        "save": "_parse_save",
+        "load": "_parse_load",
     }
 
     def __init__(self, filename: Optional[str] = None) -> None:
@@ -462,6 +478,19 @@ class Parser:
 
     def _parse_pop(self, form: _Form) -> PopCmd:
         return PopCmd(form.loc, self._count(form))
+
+    def _parse_save(self, form: _Form) -> SaveCmd:
+        self._exact(form, 1, "a file path string")
+        return SaveCmd(form.loc, self._path(form, form.args[0]))
+
+    def _parse_load(self, form: _Form) -> LoadCmd:
+        self._exact(form, 1, "a file path string")
+        return LoadCmd(form.loc, self._path(form, form.args[0]))
+
+    def _path(self, form: _Form, sexp: Sexp) -> str:
+        if isinstance(sexp, Literal) and sexp.value.sort == "String":
+            return str(sexp.value.data)
+        raise form.error(f"expected a file path string, got {sexp}", sexp.loc)
 
     def _count(self, form: _Form) -> int:
         if not form.args:

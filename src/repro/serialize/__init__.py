@@ -1,0 +1,47 @@
+"""Versioned engine snapshots: the ``repro.snapshot/v1`` format.
+
+Save a running :class:`~repro.engine.egraph.EGraph` to a single JSON
+document — sorts, functions, tables, union-find, proof forest, rules,
+scheduler epoch — and reconstruct an equivalent engine later, in another
+process or another version.  See ``docs/PERSISTENCE.md`` for the schema
+specification and compatibility policy.
+
+Most callers go through the surfaced APIs (``(save ...)``/``(load ...)``
+in .egg programs, ``--save``/``--load`` on the CLI, ``EGraph.save()`` /
+``EGraph.from_snapshot()`` in both the engine and typed DSL, and
+``repro-bench --replay``); this package is the shared implementation.
+"""
+
+from .encode import decode_schedule, decode_value, encode_schedule, encode_value
+from .errors import SnapshotError, SnapshotFormatError
+from .snapshot import (
+    SCHEMA,
+    compute_digest,
+    dumps_document,
+    engine_document,
+    engine_from_document,
+    load_engine,
+    read_document,
+    save_engine,
+    validate_document,
+    write_snapshot,
+)
+
+__all__ = [
+    "SCHEMA",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "compute_digest",
+    "decode_schedule",
+    "decode_value",
+    "dumps_document",
+    "encode_schedule",
+    "encode_value",
+    "engine_document",
+    "engine_from_document",
+    "load_engine",
+    "read_document",
+    "save_engine",
+    "validate_document",
+    "write_snapshot",
+]

@@ -1,0 +1,23 @@
+"""Errors raised by the snapshot subsystem."""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class SnapshotError(ReproError):
+    """Base class for snapshot save/load failures.
+
+    Raised when engine state cannot be serialized (e.g. a function whose
+    merge is an arbitrary Python callable) or when a loaded snapshot asks
+    for capabilities the running engine does not have (an unregistered
+    literal coercion, an unknown merge primitive).
+    """
+
+
+class SnapshotFormatError(SnapshotError):
+    """The snapshot document itself is malformed.
+
+    Covers unreadable JSON, an unknown ``schema`` identifier, a failed
+    integrity digest, and structurally invalid ``state`` sections.
+    """
