@@ -1,0 +1,186 @@
+"""End-to-end smoke client for ``repro-serve``, the e-graph session service.
+
+Spawns the server as a subprocess on an ephemeral port with the shortest-path
+program (``examples/path.egg``) preloaded as a warm base, then drives the
+whole HTTP surface: health check, session creation (a structural fork of the
+base — no disk, no re-run), a second fork, a budgeted run that returns a
+partial report, checks and extraction over both the ``.egg`` and JSON
+program endpoints, and a clean SIGTERM shutdown.
+
+Run with::
+
+    pip install -e .          # once (see README: Install & run)
+    python examples/serve_client.py
+"""
+
+import os
+import sys
+
+# ``python examples/serve_client.py`` prepends examples/ to sys.path, where
+# the sibling ``math.py`` would shadow the stdlib ``math`` module for
+# transitive imports (http.client -> email -> random -> math).  Drop that
+# entry before anything else is imported.
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path[:] = [p for p in sys.path if os.path.abspath(p or os.getcwd()) != _HERE]
+
+import http.client  # noqa: E402
+import json  # noqa: E402
+import re  # noqa: E402
+import signal  # noqa: E402
+import subprocess  # noqa: E402
+import time  # noqa: E402
+
+_REPO = os.path.dirname(_HERE)
+_LISTENING = re.compile(r"repro-serve listening on http://([^:]+):(\d+)")
+
+
+def start_server() -> "tuple[subprocess.Popen, str, int]":
+    """Spawn ``repro-serve --port 0`` and scrape the ephemeral port."""
+    env = dict(os.environ)
+    src = os.path.join(_REPO, "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src, env.get("PYTHONPATH")) if part
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.server.cli",
+            "--port",
+            "0",
+            "--base",
+            f"paths={os.path.join(_HERE, 'path.egg')}",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    assert process.stdout is not None
+    deadline = time.monotonic() + 30.0
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"repro-serve exited before listening (code {process.wait()})"
+            )
+        match = _LISTENING.search(line)
+        if match:
+            return process, match.group(1), int(match.group(2))
+        if time.monotonic() > deadline:  # pragma: no cover - hang guard
+            process.kill()
+            raise RuntimeError("timed out waiting for the listening line")
+
+
+def request(host: str, port: int, method: str, path: str, body=None):
+    """One JSON request; returns ``(status, decoded body)``."""
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = None if body is None else json.dumps(body).encode()
+        connection.request(method, path, body=payload)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def lit(n: int):
+    return ["l", ["i64", n]]
+
+
+def path_term(src: int, dst: int):
+    return ["a", "path", [lit(src), lit(dst)]]
+
+
+def main() -> None:
+    process, host, port = start_server()
+    try:
+        status, body = request(host, port, "GET", "/healthz")
+        assert status == 200 and body["ok"], body
+        print(f"healthz ok on {host}:{port}")
+
+        status, bases = request(host, port, "GET", "/bases")
+        assert status == 200 and bases["bases"][0]["name"] == "paths", bases
+        print(f"base preloaded: {bases['bases'][0]}")
+
+        # A session is a structural fork of the saturated base: the shortest
+        # paths are already there, no (run ...) needed.
+        status, body = request(host, port, "POST", "/sessions", {"base": "paths"})
+        assert status == 201, body
+        session = body["session"]["id"]
+        status, body = request(
+            host,
+            port,
+            "POST",
+            f"/sessions/{session}/program",
+            {
+                "ops": [
+                    {"op": "check", "facts": [["=", path_term(1, 4), lit(2)]]},
+                    {"op": "extract", "term": path_term(1, 5)},
+                ]
+            },
+        )
+        assert status == 200, body
+        check, extract = body["results"]
+        assert check["ok"] and check["count"] >= 1, check
+        assert extract["term"] == "3", extract
+        print(f"warm session {session}: path(1,4)=2 checked, path(1,5) -> {extract['term']}")
+
+        # Fork the live session, then diverge: a new edge 5->6 only exists
+        # in the fork, and a zero-deadline run returns a clean partial report.
+        status, body = request(host, port, "POST", f"/sessions/{session}/fork")
+        assert status == 201, body
+        fork = body["session"]["id"]
+        status, body = request(
+            host,
+            port,
+            "POST",
+            f"/sessions/{fork}/egg",
+            {"program": "(edge 5 6)\n(run 100)\n(check (= (path 1 6) 4))"},
+        )
+        assert status == 200, body
+        status, body = request(
+            host,
+            port,
+            "POST",
+            f"/sessions/{fork}/program",
+            {"ops": [{"op": "run", "limit": 100, "deadline_ms": 0}]},
+        )
+        assert status == 200, body
+        report = body["results"][0]["report"]
+        assert report["stopped_reason"] == "deadline", report
+        assert report["iterations"] == 0, report
+        print(f"fork {fork}: diverged with edge 5->6; budgeted run stopped on deadline")
+
+        # The parent never saw the fork's edge.
+        status, body = request(
+            host,
+            port,
+            "POST",
+            f"/sessions/{session}/program",
+            {"ops": [{"op": "check", "facts": [path_term(1, 6)]}]},
+        )
+        assert status == 200 and not body["results"][0]["ok"], body
+        print(f"parent {session}: fork's edge is invisible (isolation holds)")
+
+        status, body = request(host, port, "GET", "/stats")
+        stats = body["stats"]
+        assert status == 200 and stats["sessions"] == 2, stats
+        cache = stats["compile_cache"]
+        assert cache["hits"] > 0, cache
+        print(f"stats: {stats['sessions']} sessions, compile cache hits={cache['hits']}")
+
+        status, body = request(host, port, "DELETE", f"/sessions/{fork}")
+        assert status == 200, body
+        status, body = request(host, port, "GET", f"/sessions/{fork}")
+        assert status == 404, body
+        print(f"fork {fork} deleted; lookup now 404s")
+    finally:
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=30)
+    assert code == 0, f"repro-serve exited with {code}"
+    print("ok: server smoke test passed, clean shutdown")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from .._version import package_version
 from .runner import DEFAULT_VARIANTS, profile_workload, run_suite
+from .server import SERVER_BENCH_NAME
 from .workloads import default_workloads
 
 
@@ -97,14 +98,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
         return replay_snapshot(args.replay, repeats=repeats)
     workloads = default_workloads(quick=args.quick, seed=args.seed)
+    # The server bench has its own variant pair (fork-warm vs cold-load),
+    # so it only runs with the default engine-variant selection.
+    include_server = args.variants is None and not args.profile
     if args.only:
         workloads = [w for w in workloads if args.only in w.name]
-        if not workloads:
+        include_server = include_server and args.only in SERVER_BENCH_NAME
+        if not workloads and not include_server:
             print(f"error: no workload matches {args.only!r}", file=sys.stderr)
             return 1
     if args.list:
         for workload in workloads:
             print(f"{workload.name}  [{workload.family}]  {workload.params}")
+        if include_server:
+            print(f"{SERVER_BENCH_NAME}  [server]  fork-warm vs cold-load")
         return 0
     variants = dict(DEFAULT_VARIANTS)
     if args.variants:
@@ -127,12 +134,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         for workload in workloads:
             profile_workload(workload, strategy)
         return 0
-    run_suite(
-        workloads,
-        variants=variants,
-        repeats=repeats,
-        out_dir=Path(args.out),
-    )
+    if workloads:
+        run_suite(
+            workloads,
+            variants=variants,
+            repeats=repeats,
+            out_dir=Path(args.out),
+        )
+    if include_server:
+        from .runner import write_document
+        from .server import server_document
+
+        document = server_document(quick=args.quick, repeats=repeats)
+        path = write_document(document, Path(args.out))
+        comparison = document["comparison"]
+        print(
+            f"bench: {SERVER_BENCH_NAME}: "
+            f"fork-warm={comparison['candidate_run_s'] * 1000:.1f}ms, "
+            f"cold-load={comparison['baseline_run_s'] * 1000:.1f}ms "
+            f"(fork speedup over cold: {comparison['speedup']:.2f}x) -> {path}"
+        )
     return 0
 
 

@@ -105,6 +105,13 @@ class RunReport:
     #: Delta searches skipped because the atom's table had no rows newer
     #: than the rule's watermark (the scheduler's zero-delta short-circuit).
     delta_skips: int = 0
+    #: Why the run stopped early, if a budget cut it short: ``"deadline"``
+    #: (wall-clock budget exhausted) or ``"max-nodes"`` (node-count cap
+    #: reached).  Empty when the run completed normally (saturation or the
+    #: iteration limit).  Budgets are checked *between* iterations, so the
+    #: report always describes a consistent database — the run never stops
+    #: mid-iteration.
+    stopped_reason: str = ""
 
     @property
     def total_time(self) -> float:
@@ -113,7 +120,12 @@ class RunReport:
 
     def summary(self) -> str:
         """One-line human-readable digest, for examples and logs."""
-        status = "saturated" if self.saturated else "iteration limit"
+        if self.stopped_reason:
+            status = f"stopped: {self.stopped_reason}"
+        elif self.saturated:
+            status = "saturated"
+        else:
+            status = "iteration limit"
         return (
             f"{self.iterations} iteration(s), {self.num_matches} match(es), "
             f"{status}, {self.total_time * 1000:.1f} ms "
@@ -131,5 +143,6 @@ class RunReport:
         self.num_matches += other.num_matches
         self.updated = self.updated or other.updated
         self.delta_skips += other.delta_skips
+        self.stopped_reason = other.stopped_reason or self.stopped_reason
         for name, count in other.per_rule_matches.items():
             self.per_rule_matches[name] = self.per_rule_matches.get(name, 0) + count

@@ -422,6 +422,8 @@ class EGraph:
         *what: Union[int, Schedule],
         limit: Optional[int] = None,
         ruleset: Union[Ruleset, str, None] = None,
+        deadline_s: Optional[float] = None,
+        max_nodes: Optional[int] = None,
     ) -> RunReport:
         """Run the engine; returns the engine's :class:`RunReport`.
 
@@ -431,6 +433,11 @@ class EGraph:
             eg.run(10, ruleset=opt)       # up to 10 iterations of one ruleset
             eg.run(seq(opt.saturate(),    # schedule combinators
                        fold.run(2)))
+
+        ``deadline_s`` / ``max_nodes`` budget the run (any spelling): the
+        scheduler checks them between iterations and a budgeted run returns
+        a clean partial report with ``stopped_reason`` set instead of
+        running on.
         """
         schedules = tuple(
             w for w in what if isinstance(w, (Run, Seq, Repeat, Saturate))
@@ -440,7 +447,9 @@ class EGraph:
                 raise DslError(
                     "run(): pass either schedules or limit/ruleset, not both"
                 )
-            return self.engine.run_schedule(*schedules)
+            return self.engine.run_schedule(
+                *schedules, deadline_s=deadline_s, max_nodes=max_nodes
+            )
         if len(what) > 1:
             raise DslError(
                 f"run() takes one iteration limit or schedules, got {what!r}"
@@ -460,7 +469,9 @@ class EGraph:
         name = ruleset.name if isinstance(ruleset, Ruleset) else (
             ruleset if ruleset is not None else DEFAULT_RULESET
         )
-        return self.engine.run(iterations, ruleset=name)
+        return self.engine.run(
+            iterations, ruleset=name, deadline_s=deadline_s, max_nodes=max_nodes
+        )
 
     # -- queries --------------------------------------------------------------
 
@@ -666,7 +677,15 @@ class EGraph:
         """
         from ..serialize import SnapshotError
 
-        surfaces = {
+        try:
+            return self.engine.save(path, surfaces=self._dsl_surfaces())
+        except SnapshotError as error:
+            raise DslError(str(error)) from error
+
+    def _dsl_surfaces(self) -> dict:
+        """The ``surfaces.dsl`` section: handle provenance that the engine
+        itself doesn't carry (declaration sites, operator bindings)."""
+        return {
             "dsl": {
                 "sorts": [
                     [sort.name, sort.decl_site]
@@ -681,10 +700,38 @@ class EGraph:
                 ],
             }
         }
+
+    def fork(self, *, strategy: Optional[str] = None) -> "EGraph":
+        """An independent copy of this EGraph — engine state and handles.
+
+        The engine round-trips through an in-memory snapshot document (no
+        file I/O) and the fork re-hydrates *fresh* handles from it: the two
+        EGraphs share no mutable state, so declaring sorts, binding
+        operators, or running rules on one never affects the other.  The
+        primitive registry is intentionally shared, keeping the
+        process-level compiled-plan cache hot across forks.
+
+        Handles from the parent do not work on the fork (they belong to a
+        different EGraph and say so) — look up the fork's own via
+        :meth:`function_handle` / :meth:`ruleset`.  Functions whose
+        merge/default is an arbitrary Python callable cannot round-trip and
+        raise :class:`DslError`, same as :meth:`save`.
+        """
+        from ..serialize import SnapshotError, engine_document, engine_from_document
+
         try:
-            return self.engine.save(path, surfaces=surfaces)
+            document = engine_document(self.engine, surfaces=self._dsl_surfaces())
+            engine = engine_from_document(
+                document,
+                strategy=strategy if strategy is not None else self.engine.strategy,
+                registry=self.engine.registry,
+            )
         except SnapshotError as error:
             raise DslError(str(error)) from error
+        forked = type(self).__new__(type(self))
+        forked.engine = engine
+        forked._hydrate(document)
+        return forked
 
     @classmethod
     def from_snapshot(

@@ -12,6 +12,7 @@ Datalog + equality-saturation engine of the paper:
 """
 
 from .actions import Action, Delete, Expr, Let, Panic, Set, Union
+from .budget import STOP_DEADLINE, STOP_MAX_NODES, Budget
 from .egraph import SEARCH_STRATEGIES, EGraph
 from .errors import CheckError, EGraphError, EGraphPanic, ExtractError, MergeError
 from .rule import (
@@ -28,6 +29,7 @@ from .scheduler import Scheduler
 
 __all__ = [
     "Action",
+    "Budget",
     "CheckError",
     "CompiledRule",
     "DEFAULT_RULESET",
@@ -45,6 +47,8 @@ __all__ = [
     "Rule",
     "Run",
     "SEARCH_STRATEGIES",
+    "STOP_DEADLINE",
+    "STOP_MAX_NODES",
     "Saturate",
     "Schedule",
     "Scheduler",

@@ -1,0 +1,89 @@
+"""Run budgets: wall-clock deadlines and node-count caps for the scheduler.
+
+A served e-graph cannot let one client's ``(run 1000000)`` monopolise the
+process, and equality saturation has no useful *a priori* bound on how long
+an iteration batch takes.  A :class:`Budget` carries the two caps a session
+service needs — a wall-clock deadline and a database size cap — and the
+scheduler consults it **between** iterations: when a cap is hit, the run
+stops cleanly with a partial :class:`~repro.core.schema.RunReport` whose
+``stopped_reason`` names the exhausted budget.  Nothing raises and nothing
+is rolled back; the database after a budgeted run is exactly the database
+after the last completed iteration.
+
+Because the check sits between iterations, a single iteration may overshoot
+``max_nodes`` — the cap bounds when the scheduler *stops*, not the peak
+size.  That is the same granularity egg's ``Runner`` limits use, and it is
+what keeps the report consistent (no half-applied rule batches).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .egraph import EGraph
+
+#: ``RunReport.stopped_reason`` when the wall-clock deadline expired.
+STOP_DEADLINE = "deadline"
+#: ``RunReport.stopped_reason`` when the node-count cap was reached.
+STOP_MAX_NODES = "max-nodes"
+
+
+class Budget:
+    """Caps on one scheduler run: wall-clock seconds and total table rows.
+
+    Args:
+        deadline_s: wall-clock budget in seconds, measured from construction
+            (``time.monotonic``).  ``None`` means unlimited.  ``0`` is legal
+            and means "already expired": the run performs zero iterations and
+            returns immediately with ``stopped_reason="deadline"`` — useful
+            for probing whether a schedule *would* run.
+        max_nodes: cap on :meth:`EGraph.node_count` (total rows across all
+            tables).  ``None`` means unlimited.  The cap is inclusive: the
+            run stops once the count is **at or above** the cap.
+    """
+
+    __slots__ = ("deadline_s", "max_nodes", "_deadline_at")
+
+    def __init__(
+        self,
+        deadline_s: Optional[float] = None,
+        max_nodes: Optional[int] = None,
+    ) -> None:
+        if deadline_s is not None and deadline_s < 0:
+            raise ValueError(f"deadline_s must be >= 0, got {deadline_s!r}")
+        if max_nodes is not None and max_nodes < 0:
+            raise ValueError(f"max_nodes must be >= 0, got {max_nodes!r}")
+        self.deadline_s = deadline_s
+        self.max_nodes = max_nodes
+        self._deadline_at = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+
+    @classmethod
+    def of(
+        cls,
+        deadline_s: Optional[float] = None,
+        max_nodes: Optional[int] = None,
+    ) -> Optional["Budget"]:
+        """A budget, or ``None`` when neither cap is set (the common case —
+        lets callers pass ``budget=None`` through the scheduler for free)."""
+        if deadline_s is None and max_nodes is None:
+            return None
+        return cls(deadline_s=deadline_s, max_nodes=max_nodes)
+
+    def exhausted(self, egraph: "EGraph") -> Optional[str]:
+        """The ``stopped_reason`` if a cap is hit, else ``None``.
+
+        The deadline is checked first: a run that is both over time and over
+        size reports ``"deadline"``, the cap a caller can do least about.
+        """
+        if self._deadline_at is not None and time.monotonic() >= self._deadline_at:
+            return STOP_DEADLINE
+        if self.max_nodes is not None and egraph.node_count() >= self.max_nodes:
+            return STOP_MAX_NODES
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Budget(deadline_s={self.deadline_s!r}, max_nodes={self.max_nodes!r})"

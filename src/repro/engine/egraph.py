@@ -36,6 +36,7 @@ from ..core.terms import Term, TermApp, TermLit, TermLike, TermVar, as_term
 from ..core.unionfind import UnionFind
 from ..core.values import BUILTIN_SORTS, UNIT, UNIT_VALUE, EqSort, Sort, Value, from_python
 from .actions import Action, Delete, Expr, Let, Set, Union
+from .budget import Budget
 from .errors import CheckError, EGraphError, ExtractError, MergeError
 from .program import RuleExec
 from .rebuild import rebuild as _rebuild
@@ -632,16 +633,50 @@ class EGraph:
 
     # -- running --------------------------------------------------------------
 
-    def run(self, limit: int = 1, *, ruleset: str = DEFAULT_RULESET) -> RunReport:
-        """Run up to ``limit`` scheduler iterations (§4.3); see RunReport."""
-        return self.scheduler.run(limit, ruleset)
+    def run(
+        self,
+        limit: int = 1,
+        *,
+        ruleset: str = DEFAULT_RULESET,
+        deadline_s: Optional[float] = None,
+        max_nodes: Optional[int] = None,
+    ) -> RunReport:
+        """Run up to ``limit`` scheduler iterations (§4.3); see RunReport.
 
-    def run_schedule(self, *schedules: Schedule) -> RunReport:
+        ``deadline_s`` (wall-clock seconds from now) and ``max_nodes`` (cap
+        on :meth:`node_count`) bound the run: the scheduler checks them
+        between iterations and stops cleanly with the partial report's
+        ``stopped_reason`` set to ``"deadline"`` or ``"max-nodes"``.
+        """
+        return self.scheduler.run(
+            limit, ruleset, Budget.of(deadline_s=deadline_s, max_nodes=max_nodes)
+        )
+
+    def run_schedule(
+        self,
+        *schedules: Schedule,
+        deadline_s: Optional[float] = None,
+        max_nodes: Optional[int] = None,
+    ) -> RunReport:
         """Run schedule combinators (``run-schedule``): saturate/seq/repeat.
 
         Multiple arguments run in sequence; see :mod:`repro.engine.schedule`.
+        The optional budget spans the *whole* schedule (one deadline across
+        every combinator), with the same between-iteration semantics as
+        :meth:`run`.
         """
-        return self.scheduler.run_schedule(Seq(tuple(schedules)))
+        return self.scheduler.run_schedule(
+            Seq(tuple(schedules)),
+            Budget.of(deadline_s=deadline_s, max_nodes=max_nodes),
+        )
+
+    def node_count(self) -> int:
+        """Total rows across all tables — the size a ``max_nodes`` budget caps.
+
+        Every e-node is one table row (§3.2: the e-graph *is* the database),
+        so this is the natural "number of nodes" measure.
+        """
+        return sum(len(table) for table in self.tables.values())
 
     def rebuild(self) -> int:
         """Restore congruence closure (§4); returns the number of repair rounds."""
@@ -1033,6 +1068,63 @@ class EGraph:
         self.scheduler = Scheduler(self)
         self._snapshots = []
         return document
+
+    def fork(self, *, strategy: Optional[str] = None) -> "EGraph":
+        """An independent copy of this engine, by structural state copy.
+
+        Semantically identical to round-tripping through an in-memory
+        ``repro.snapshot/v1`` document (``engine_document(fork)`` is
+        byte-identical to ``engine_document(parent)``, which the test suite
+        pins), but built by copying state directly — the same structural
+        sharing :meth:`push` relies on (rows and values are immutable, so
+        containers are copied and their contents shared).  That makes a
+        fork a few dict/list copies instead of thousands of JSON decodes:
+        the session service's hot path.
+
+        The fork is deeply isolated — rows, union-find, proof forest,
+        rules, and watermarks; mutating either engine never affects the
+        other — while derived state (indexes, compiled executors, merge-fn
+        caches) is rebuilt lazily, exactly as after a snapshot load.  The
+        push/pop stack does not carry over.
+
+        The fork *shares* this engine's primitive registry, which keeps the
+        process-level compiled-plan cache (``repro.engine.compilecache``)
+        hot: sessions forked from one base reuse the base's query plans
+        instead of recompiling per fork.
+
+        ``strategy`` overrides the fork's join strategy (defaults to the
+        parent's).
+        """
+        child = EGraph(
+            strategy=strategy if strategy is not None else self._strategy,
+            registry=self.registry,
+            proofs=self.uf.proofs is not None,
+        )
+        child.uf.restore(self.uf.snapshot())
+        child._proof_log = (
+            dict(self._proof_log) if self._proof_log is not None else None
+        )
+        child.sorts = dict(self.sorts)
+        child._eq_sorts = set(self._eq_sorts)
+        child.decls = dict(self.decls)
+        for name, table in self.tables.items():
+            copy = Table(table.decl)
+            copy.restore(table.snapshot())
+            child.tables[name] = copy
+        child.rules = {
+            name: CompiledRule(
+                name=rule.name,
+                query=rule.query,
+                actions=rule.actions,
+                ruleset=rule.ruleset,
+                last_run=rule.last_run,
+            )
+            for name, rule in self.rules.items()
+        }
+        child.rulesets = {name: list(rules) for name, rules in self.rulesets.items()}
+        child.timestamp = self.timestamp
+        child._updates = self._updates
+        return child
 
     # -- introspection --------------------------------------------------------
 

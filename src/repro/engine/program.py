@@ -30,17 +30,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..core.compile import (
-    CompiledGenericQuery,
-    CompiledIndexedQuery,
-    MatchTuple,
-    assign_slots,
-)
+from ..core.compile import MatchTuple
 from ..core.proofs import Justification, rule_justification
 from ..core.terms import Term, TermApp, TermLit, TermVar
 from ..core.values import UNIT, UNIT_VALUE, Value
 from .actions import Action, Delete, Expr, Let, Panic, Set as SetAction, Union
 from .actions import set_function_value
+from .compilecache import CACHE
 from .errors import EGraphError, EGraphPanic
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -350,6 +346,13 @@ class RuleExec:
     engine bumps its compile epoch on push/pop and rule replacement, which
     invalidates every cached executor (closures capture tables and
     declarations that those operations may replace).
+
+    The engine-independent half — slot assignment and the compiled query
+    search — comes from the process-level plan cache
+    (:mod:`repro.engine.compilecache`), so engines sharing a primitive
+    registry (e.g. sessions forked from one base) share query plans; only
+    the action program, which captures this engine's tables and counters,
+    is compiled fresh per executor.
     """
 
     __slots__ = (
@@ -370,27 +373,13 @@ class RuleExec:
         #: compiled union ops and installed as the ambient reason while the
         #: scheduler applies this rule's matches.
         self.reason = rule_justification(rule.name)
-        slot_of, slot_names = assign_slots(rule.query)
-        self.slot_of = slot_of
-        self.slot_names = slot_names
-        self.n_slots = len(slot_names)
-        registry = egraph.registry
-        if strategy == "indexed":
-            self.query_exec: object = CompiledIndexedQuery(
-                rule.query, slot_of, self.n_slots, registry
-            )
-        elif strategy == "generic":
-            self.query_exec = CompiledGenericQuery(
-                rule.query, slot_of, self.n_slots, registry, use_indexes=True
-            )
-        elif strategy == "generic-adhoc":
-            self.query_exec = CompiledGenericQuery(
-                rule.query, slot_of, self.n_slots, registry, use_indexes=False
-            )
-        else:
-            raise EGraphError(f"no compiled executor for strategy {strategy!r}")
+        plan = CACHE.plan(rule.query, strategy, egraph.registry)
+        self.slot_of = plan.slot_of
+        self.slot_names = plan.slot_names
+        self.n_slots = plan.n_slots
+        self.query_exec = plan.query_exec
         self.program = compile_actions(
-            egraph, rule.actions, slot_of, self.n_slots, self.reason
+            egraph, rule.actions, plan.slot_of, plan.n_slots, self.reason
         )
 
     def search_full(self, tables: Dict[str, object]) -> List[MatchTuple]:

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 from ..core.compile import MatchTuple
 from ..core.schema import RunReport
+from .budget import Budget
 from .errors import EGraphError
 from .program import RuleExec
 from .rebuild import rebuild
@@ -175,10 +176,27 @@ class Scheduler:
         report.saturated = not report.updated
         return report
 
-    def run(self, limit: int = 1, ruleset: str = DEFAULT_RULESET) -> RunReport:
-        """Run up to ``limit`` iterations, stopping early on saturation."""
+    def run(
+        self,
+        limit: int = 1,
+        ruleset: str = DEFAULT_RULESET,
+        budget: Optional[Budget] = None,
+    ) -> RunReport:
+        """Run up to ``limit`` iterations, stopping early on saturation.
+
+        A :class:`Budget` is consulted *before* each iteration: when a cap is
+        hit the loop stops cleanly with ``stopped_reason`` set on the (then
+        partial) report.  The check-before granularity means one iteration
+        may overshoot ``max_nodes``, but the database is always left in the
+        consistent state of the last completed iteration.
+        """
         total = RunReport()
         for _ in range(limit):
+            if budget is not None:
+                reason = budget.exhausted(self.egraph)
+                if reason is not None:
+                    total.stopped_reason = reason
+                    break
             iteration = self.run_iteration(ruleset)
             total.merge_with(iteration)
             if iteration.saturated:
@@ -187,33 +205,54 @@ class Scheduler:
 
     # -- schedules -------------------------------------------------------------
 
-    def run_schedule(self, schedule: Schedule) -> RunReport:
-        """Interpret a :mod:`repro.engine.schedule` combinator tree."""
+    def run_schedule(
+        self, schedule: Schedule, budget: Optional[Budget] = None
+    ) -> RunReport:
+        """Interpret a :mod:`repro.engine.schedule` combinator tree.
+
+        The budget threads through every combinator: a ``Seq`` stops after
+        the sub-schedule that exhausted it, ``Repeat``/``Saturate`` stop
+        after the pass that did.  ``stopped_reason`` propagates up through
+        :meth:`RunReport.merge_with`.
+        """
         if isinstance(schedule, Run):
-            return self.run(schedule.limit, schedule.ruleset)
+            return self.run(schedule.limit, schedule.ruleset, budget)
         if isinstance(schedule, Seq):
             total = RunReport()
             for sub in schedule.schedules:
-                total.merge_with(self.run_schedule(sub))
+                total.merge_with(self.run_schedule(sub, budget))
+                if total.stopped_reason:
+                    break
             return total
         if isinstance(schedule, Repeat):
             total = RunReport()
             for _ in range(schedule.times):
-                if self._run_pass(schedule.schedules, total):
+                if self._run_pass(schedule.schedules, total, budget):
                     break
             return total
         if isinstance(schedule, Saturate):
             total = RunReport()
-            while not self._run_pass(schedule.schedules, total):
+            while not self._run_pass(schedule.schedules, total, budget):
                 pass
             return total
         raise EGraphError(f"unknown schedule {schedule!r}")
 
-    def _run_pass(self, schedules: Tuple[Schedule, ...], total: RunReport) -> bool:
-        """One pass over ``schedules``; True iff the pass changed nothing."""
+    def _run_pass(
+        self,
+        schedules: Tuple[Schedule, ...],
+        total: RunReport,
+        budget: Optional[Budget] = None,
+    ) -> bool:
+        """One pass over ``schedules``; True iff the enclosing loop must stop
+        (the pass changed nothing, or a budget cut it short)."""
         updates_before = self.egraph.updates
         for sub in schedules:
-            total.merge_with(self.run_schedule(sub))
+            total.merge_with(self.run_schedule(sub, budget))
+            if total.stopped_reason:
+                # Not a fixpoint claim: the pass was cut short, so whether
+                # the database is quiescent is unknown.  ``saturated`` keeps
+                # whatever the last completed run reported.
+                return True
         quiescent = self.egraph.updates == updates_before
         total.saturated = quiescent
         return quiescent

@@ -449,9 +449,21 @@ class Evaluator:
         run_actions(self.egraph, [action], {})
 
     def _do_run(self, cmd: RunCmd) -> None:
-        report = self.egraph.run(cmd.limit, ruleset=cmd.ruleset)
+        report = self.egraph.run(
+            cmd.limit,
+            ruleset=cmd.ruleset,
+            deadline_s=(
+                cmd.deadline_ms / 1000.0 if cmd.deadline_ms is not None else None
+            ),
+            max_nodes=cmd.max_nodes,
+        )
         self.report.merge_with(report)
-        status = "saturated" if report.saturated else "iteration limit"
+        if report.stopped_reason:
+            status = f"stopped: {report.stopped_reason}"
+        elif report.saturated:
+            status = "saturated"
+        else:
+            status = "iteration limit"
         self.emit(
             f"run: {report.iterations} iteration(s), "
             f"{report.num_matches} match(es), {status}"

@@ -106,8 +106,16 @@ class DeleteCmd(Command):
 
 @dataclass(frozen=True)
 class RunCmd(Command):
+    """``(run n [:ruleset r] [:deadline-ms n] [:max-nodes n])``.
+
+    ``deadline_ms``/``max_nodes`` are optional run budgets, checked by the
+    scheduler between iterations; ``None`` means unlimited.
+    """
+
     limit: int
     ruleset: str = ""
+    deadline_ms: Optional[int] = None
+    max_nodes: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -205,7 +213,7 @@ class Parser:
         "rule": {":name": "value", ":ruleset": "value"},
         "rewrite": {":when": "value", ":name": "value", ":ruleset": "value"},
         "birewrite": {":when": "value", ":name": "value", ":ruleset": "value"},
-        "run": {":ruleset": "value"},
+        "run": {":ruleset": "value", ":deadline-ms": "value", ":max-nodes": "value"},
     }
 
     #: Command keyword -> parse method.  Heads outside this table fall
@@ -446,7 +454,22 @@ class Parser:
         limit = self._int(form, form.args[0], "an iteration limit")
         if limit < 1:
             raise form.error(f"'run' limit must be positive, got {limit}")
-        return RunCmd(form.loc, limit, self._ruleset_option(form))
+        return RunCmd(
+            form.loc,
+            limit,
+            self._ruleset_option(form),
+            self._budget_option(form, ":deadline-ms"),
+            self._budget_option(form, ":max-nodes"),
+        )
+
+    def _budget_option(self, form: _Form, key: str) -> Optional[int]:
+        sexp = form.options.get(key)
+        if sexp is None:
+            return None
+        value = self._int(form, sexp, f"a {key[1:]} budget")
+        if value < 0:
+            raise form.error(f"'{key[1:]}' must be >= 0, got {value}", sexp.loc)
+        return value
 
     def _parse_run_schedule(self, form: _Form) -> RunScheduleCmd:
         if not form.args:

@@ -1,0 +1,16 @@
+"""HTTP service layer: JSON over HTTP/1.1 in front of the session manager.
+
+Stdlib-only by design — :mod:`asyncio` sockets, hand-rolled HTTP framing
+(:mod:`repro.server.http`), and a small route table (:mod:`repro.server.app`).
+The event loop only shuffles bytes; every engine call runs in a worker
+thread, so slow saturations on one session never stall another client's
+requests.  ``repro-serve`` (:mod:`repro.server.cli`) is the console entry.
+
+See ``docs/SERVER.md`` for the wire protocol.
+"""
+
+from .app import App
+from .cli import main
+from .http import HttpError, serve
+
+__all__ = ["App", "HttpError", "main", "serve"]

@@ -1,0 +1,186 @@
+"""Route table: HTTP requests onto the :class:`SessionManager`.
+
+Endpoints (all JSON; see ``docs/SERVER.md`` for full schemas)::
+
+    GET    /healthz                   liveness + version
+    GET    /stats                     manager + compile-cache counters
+    GET    /bases                     list bases
+    POST   /bases                     {"name", "program"} | {"name", "snapshot_path"}
+    DELETE /bases/<name>              forget a base (live forks unaffected)
+    GET    /sessions                  list sessions
+    POST   /sessions                  {"base": name?} -> {"session": {...}}
+    GET    /sessions/<id>             one session's info
+    DELETE /sessions/<id>             drop a session
+    POST   /sessions/<id>/fork        clone a live session
+    POST   /sessions/<id>/egg         {"program": ".egg text"} -> {"lines": [...]}
+    POST   /sessions/<id>/program     {"ops": [...]} -> {"results": [...]}
+
+Session-layer errors map to statuses (unknown -> 404, duplicate -> 409,
+capacity -> 503, bad program -> 422).  Engine work is blocking and
+CPU-bound, so every dispatch runs in a worker thread — the session mutexes
+do the serialization, the event loop stays free to accept connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from .._version import package_version
+from ..session import (
+    CapacityError,
+    DuplicateNameError,
+    ProgramError,
+    Session,
+    SessionError,
+    SessionManager,
+    UnknownBaseError,
+    UnknownSessionError,
+)
+from .http import HttpError
+
+Json = Any
+
+_ERROR_STATUS = (
+    (UnknownSessionError, 404),
+    (UnknownBaseError, 404),
+    (DuplicateNameError, 409),
+    (CapacityError, 503),
+    (ProgramError, 422),
+    (SessionError, 400),
+)
+
+
+def _status_of(error: SessionError) -> int:
+    for kind, status in _ERROR_STATUS:
+        if isinstance(error, kind):
+            return status
+    return 400  # pragma: no cover - table covers the hierarchy
+
+
+class App:
+    """The service: one manager, a blocking dispatcher, an async adapter."""
+
+    def __init__(self, manager: Optional[SessionManager] = None) -> None:
+        self.manager = manager if manager is not None else SessionManager()
+
+    # -- async adapter (the event-loop side) ----------------------------------
+
+    async def handle(self, method: str, path: str, body: bytes) -> Tuple[int, Json]:
+        payload = self._decode_body(body)
+        loop = asyncio.get_event_loop()
+        return await loop.run_in_executor(None, self.dispatch, method, path, payload)
+
+    @staticmethod
+    def _decode_body(body: bytes) -> Json:
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+    # -- blocking dispatcher (worker-thread side) -----------------------------
+
+    def dispatch(self, method: str, path: str, payload: Dict[str, Json]) -> Tuple[int, Json]:
+        """Route one request; thread-safe, callable without a server too."""
+        try:
+            return self._route(method, path, payload)
+        except SessionError as error:
+            return _status_of(error), {"ok": False, "error": str(error)}
+
+    def _route(self, method: str, path: str, payload: Dict[str, Json]) -> Tuple[int, Json]:
+        parts = [p for p in path.split("/") if p]
+
+        if parts == ["healthz"]:
+            self._require(method, "GET")
+            return 200, {"ok": True, "version": package_version()}
+        if parts == ["stats"]:
+            self._require(method, "GET")
+            return 200, {"ok": True, "stats": self.manager.stats()}
+
+        if parts == ["bases"]:
+            if method == "GET":
+                return 200, {"ok": True, "bases": self.manager.bases()}
+            self._require(method, "POST")
+            return self._create_base(payload)
+        if len(parts) == 2 and parts[0] == "bases":
+            self._require(method, "DELETE")
+            self.manager.remove_base(parts[1])
+            return 200, {"ok": True, "removed": parts[1]}
+
+        if parts == ["sessions"]:
+            if method == "GET":
+                return 200, {"ok": True, "sessions": self.manager.sessions()}
+            self._require(method, "POST")
+            base = payload.get("base")
+            if base is not None and not isinstance(base, str):
+                raise HttpError(400, "field 'base' must be a string")
+            session = self.manager.create_session(base)
+            return 201, {"ok": True, "session": session.info()}
+        if len(parts) >= 2 and parts[0] == "sessions":
+            return self._session_route(method, parts[1], parts[2:], payload)
+
+        raise HttpError(404, f"no route for {path!r}")
+
+    def _create_base(self, payload: Dict[str, Json]) -> Tuple[int, Json]:
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise HttpError(400, "field 'name' must be a non-empty string")
+        program = payload.get("program")
+        snapshot_path = payload.get("snapshot_path")
+        if (program is None) == (snapshot_path is None):
+            raise HttpError(400, "provide exactly one of 'program' or 'snapshot_path'")
+        if program is not None:
+            if not isinstance(program, str):
+                raise HttpError(400, "field 'program' must be a string")
+            info = self.manager.add_base_from_program(name, program)
+        else:
+            if not isinstance(snapshot_path, str):
+                raise HttpError(400, "field 'snapshot_path' must be a string")
+            try:
+                info = self.manager.add_base_from_snapshot(name, snapshot_path)
+            except OSError as error:
+                raise HttpError(400, f"cannot read snapshot: {error}") from None
+        return 201, {"ok": True, "base": info}
+
+    def _session_route(
+        self, method: str, session_id: str, rest: list, payload: Dict[str, Json]
+    ) -> Tuple[int, Json]:
+        if not rest:
+            if method == "DELETE":
+                self.manager.remove_session(session_id)
+                return 200, {"ok": True, "removed": session_id}
+            self._require(method, "GET")
+            return 200, {"ok": True, "session": self.manager.get(session_id).info()}
+        if len(rest) != 1:
+            raise HttpError(404, f"no route for sessions/{session_id}/{'/'.join(rest)}")
+        action = rest[0]
+        if action == "fork":
+            self._require(method, "POST")
+            session = self.manager.fork_session(session_id)
+            return 201, {"ok": True, "session": session.info()}
+        if action == "egg":
+            self._require(method, "POST")
+            program = payload.get("program")
+            if not isinstance(program, str):
+                raise HttpError(400, "field 'program' must be a string")
+            session = self.manager.get(session_id)
+            return 200, {"ok": True, "lines": session.run_egg(program)}
+        if action == "program":
+            self._require(method, "POST")
+            session = self.manager.get(session_id)
+            return 200, {"ok": True, "results": session.run_program(payload.get("ops"))}
+        raise HttpError(404, f"unknown session action {action!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise HttpError(405, f"method {method} not allowed here (want {expected})")
+
+
+__all__ = ["App", "Session"]

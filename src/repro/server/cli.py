@@ -1,0 +1,122 @@
+"""``repro-serve``: the e-graph session service as a console command.
+
+Boots a :class:`~repro.session.SessionManager`, optionally preloads named
+bases from ``.egg`` programs or ``repro.snapshot/v1`` files, and serves the
+HTTP API until SIGINT/SIGTERM.  The first line on stdout is always::
+
+    repro-serve listening on http://HOST:PORT
+
+so scripts can bind ``--port 0`` and scrape the ephemeral port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import List, Optional
+
+from ..session import SessionError, SessionManager
+from .app import App
+from .http import serve
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve e-graph sessions over JSON/HTTP (see docs/SERVER.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default %(default)s)")
+    parser.add_argument(
+        "--port", type=int, default=8642, help="bind port; 0 picks one (default %(default)s)"
+    )
+    parser.add_argument(
+        "--strategy",
+        default="indexed",
+        choices=("indexed", "generic", "generic-adhoc"),
+        help="join strategy for every engine (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        metavar="N",
+        help="LRU capacity cap on live sessions (default %(default)s)",
+    )
+    parser.add_argument(
+        "--idle-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict sessions idle longer than this (default: never)",
+    )
+    parser.add_argument(
+        "--base",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="preload a base from a .egg program or a .json snapshot; repeatable",
+    )
+    return parser
+
+
+def _preload_bases(manager: SessionManager, specs: List[str]) -> None:
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(f"repro-serve: --base wants NAME=PATH, got {spec!r}")
+        try:
+            if path.endswith(".json"):
+                info = manager.add_base_from_snapshot(name, path)
+            else:
+                with open(path, "r", encoding="utf-8") as handle:
+                    info = manager.add_base_from_program(name, handle.read())
+        except (OSError, SessionError) as error:
+            raise SystemExit(f"repro-serve: cannot load base {name!r}: {error}") from error
+        print(f"repro-serve base {name!r}: {info['functions']} function(s), "
+              f"{info['rows']} row(s) [{info['source']}]", flush=True)
+
+
+async def _run(app: App, host: str, port: int) -> None:
+    server = await serve(app.handle, host, port)
+    bound = server.sockets[0].getsockname()
+    print(f"repro-serve listening on http://{bound[0]}:{bound[1]}", flush=True)
+
+    stop = asyncio.get_event_loop().create_future()
+
+    def request_stop() -> None:
+        if not stop.done():
+            stop.set_result(None)
+
+    loop = asyncio.get_event_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, request_stop)
+        except NotImplementedError:  # pragma: no cover - non-unix loops
+            pass
+    try:
+        await stop
+    finally:
+        server.close()
+        await server.wait_closed()
+    print("repro-serve stopped", flush=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    manager = SessionManager(
+        strategy=args.strategy,
+        max_sessions=args.max_sessions,
+        idle_ttl_s=args.idle_ttl,
+    )
+    _preload_bases(manager, args.base)
+    try:
+        asyncio.run(_run(App(manager), args.host, args.port))
+    except KeyboardInterrupt:  # pragma: no cover - signal handler usually wins
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Session-layer errors, each mapping to one HTTP status in the server."""
+
+from __future__ import annotations
+
+
+class SessionError(Exception):
+    """Base class for session-layer failures (HTTP 400 unless refined)."""
+
+
+class UnknownSessionError(SessionError):
+    """No session under that id — evicted, deleted, or never created (404)."""
+
+
+class UnknownBaseError(SessionError):
+    """No base e-graph registered under that name (404)."""
+
+
+class DuplicateNameError(SessionError):
+    """A base or session with that name already exists (409)."""
+
+
+class CapacityError(SessionError):
+    """The session table is full and nothing is evictable right now (503)."""
+
+
+class ProgramError(SessionError):
+    """A submitted program is malformed or failed against the engine (422)."""

@@ -1,0 +1,306 @@
+"""Named e-graph sessions forked from warm bases, under an LRU capacity cap.
+
+The :class:`SessionManager` is the service's state: a registry of **bases**
+(template engines built once — by running an ``.egg`` program or decoding a
+``repro.snapshot/v1`` file — then kept warm in memory) and a table of live
+**sessions** (engines forked from those templates).  Forking never touches
+disk or JSON: :meth:`EGraph.fork` copies the template structurally, and the
+fork *shares* the template's primitive registry, so the process-level
+compile cache (:mod:`repro.engine.compilecache`) serves every sibling the
+same compiled query plans.
+
+Concurrency model: the manager takes one re-entrant lock for table surgery
+(create/evict/remove), and each session carries its own mutex held for the
+duration of a batch.  A session whose mutex is held is *busy* and immune to
+eviction; capacity pressure evicts the least-recently-used idle session
+instead, or fails with :class:`CapacityError` when every session is busy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.values import Value
+from ..engine.compilecache import CACHE
+from ..engine.egraph import EGraph
+from ..frontend.errors import FrontendError
+from ..frontend.evaluator import Evaluator
+from ..serialize.encode import decode_values
+from ..serialize.snapshot import engine_from_document, read_document
+from .errors import (
+    CapacityError,
+    DuplicateNameError,
+    ProgramError,
+    UnknownBaseError,
+    UnknownSessionError,
+)
+from .program import Json, run_ops
+
+
+def _egg_globals(document: Dict[str, Any]) -> List[Any]:
+    surfaces = document.get("surfaces")
+    egg = surfaces.get("egg", {}) if isinstance(surfaces, dict) else {}
+    return egg.get("globals", []) if isinstance(egg, dict) else []
+
+
+@dataclass
+class BaseInfo:
+    """One named base: a warm template engine every session forks from.
+
+    The template is never run after installation — every mutation happens
+    on forks — so concurrent forking (serialized by the manager lock) reads
+    a stable structure.
+    """
+
+    name: str
+    engine: EGraph
+    globals_values: Dict[str, Value]
+    source: str  # "egg" | "snapshot"
+    created_at: float = field(default_factory=time.monotonic)
+    forks: int = 0
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "source": self.source,
+            "forks": self.forks,
+            "functions": len(self.engine.tables),
+            "rows": self.engine.node_count(),
+        }
+
+
+class Session:
+    """One live engine plus its ``.egg`` evaluator, guarded by a mutex.
+
+    All entry points serialize on :attr:`lock`: a session is a
+    single-threaded engine that many clients may *own* but only one may
+    *drive* at a time.  The manager checks the same mutex to decide whether
+    a session is evictable.
+    """
+
+    def __init__(self, session_id: str, base: Optional[str], evaluator: Evaluator) -> None:
+        self.id = session_id
+        self.base = base
+        self.evaluator = evaluator
+        self.engine: EGraph = evaluator.egraph
+        self.lock = threading.Lock()
+        self.created_at = time.monotonic()
+        self.last_used = self.created_at
+        self.batches = 0
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+        self.batches += 1
+
+    def run_egg(self, text: str) -> List[str]:
+        """Run a batch of ``.egg`` commands; returns the lines it printed."""
+        with self.lock:
+            self.touch()
+            try:
+                return self.evaluator.run_program(text, f"<session {self.id}>")
+            except FrontendError as error:
+                raise ProgramError(str(error)) from error
+
+    def run_program(self, ops: Json) -> List[Json]:
+        """Run a JSON-encoded program (see :mod:`repro.session.program`)."""
+        with self.lock:
+            self.touch()
+            return run_ops(self.engine, ops, self.evaluator.globals)
+
+    def info(self) -> Dict[str, Any]:
+        now = time.monotonic()
+        return {
+            "id": self.id,
+            "base": self.base,
+            "busy": self.lock.locked(),
+            "batches": self.batches,
+            "age_s": round(now - self.created_at, 3),
+            "idle_s": round(now - self.last_used, 3),
+            "nodes": self.engine.node_count(),
+        }
+
+
+class SessionManager:
+    """Owns every base and session; all public methods are thread-safe."""
+
+    def __init__(
+        self,
+        *,
+        strategy: str = "indexed",
+        max_sessions: int = 64,
+        idle_ttl_s: Optional[float] = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        self.strategy = strategy
+        self.max_sessions = max_sessions
+        self.idle_ttl_s = idle_ttl_s
+        self._lock = threading.RLock()
+        self._bases: Dict[str, BaseInfo] = {}
+        self._sessions: "OrderedDict[str, Session]" = OrderedDict()
+        self._ids = itertools.count(1)
+        self.evictions = 0
+
+    # -- bases ----------------------------------------------------------------
+
+    def add_base_from_program(self, name: str, text: str) -> Dict[str, Any]:
+        """Build a base by running an ``.egg`` program on a fresh engine.
+
+        The evaluator's engine becomes the template directly: it is warm —
+        its compiled query plans already sit in the process cache under its
+        registry — so every fork starts with the cache hot.
+        """
+        self._check_base_name(name)
+        evaluator = Evaluator(strategy=self.strategy)
+        try:
+            evaluator.run_program(text, f"<base {name}>")
+        except FrontendError as error:
+            raise ProgramError(str(error)) from error
+        return self._install_base(
+            name, evaluator.egraph, dict(evaluator.globals), "egg"
+        )
+
+    def add_base_from_snapshot(self, name: str, path: str) -> Dict[str, Any]:
+        """Register a ``repro.snapshot/v1`` file as a base.
+
+        The document is decoded exactly once, here; every session then forks
+        the resulting template engine without touching the file again.
+        """
+        self._check_base_name(name)
+        document = read_document(path)
+        engine = engine_from_document(document, strategy=self.strategy)
+        globals_values = decode_values(_egg_globals(document), "egg globals")
+        return self._install_base(name, engine, globals_values, "snapshot")
+
+    def _check_base_name(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise ProgramError(f"base name must be a non-empty string, got {name!r}")
+        with self._lock:
+            if name in self._bases:
+                raise DuplicateNameError(f"base {name!r} already exists")
+
+    def _install_base(
+        self, name: str, engine: EGraph, globals_values: Dict[str, Value], source: str
+    ) -> Dict[str, Any]:
+        base = BaseInfo(
+            name=name, engine=engine, globals_values=globals_values, source=source
+        )
+        with self._lock:
+            if name in self._bases:
+                raise DuplicateNameError(f"base {name!r} already exists")
+            self._bases[name] = base
+        return base.info()
+
+    def remove_base(self, name: str) -> None:
+        with self._lock:
+            if name not in self._bases:
+                raise UnknownBaseError(f"no base named {name!r}")
+            del self._bases[name]
+
+    def bases(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [base.info() for base in self._bases.values()]
+
+    # -- sessions -------------------------------------------------------------
+
+    def create_session(self, base: Optional[str] = None) -> Session:
+        """Create a session — empty, or forked in memory from a named base."""
+        with self._lock:
+            if base is not None:
+                if base not in self._bases:
+                    raise UnknownBaseError(f"no base named {base!r}")
+                info = self._bases[base]
+                session = self._new_session(
+                    base, info.engine.fork(strategy=self.strategy), info.globals_values
+                )
+                info.forks += 1
+            else:
+                session = Session(self._next_id(), None, Evaluator(strategy=self.strategy))
+            self._admit(session)
+            return session
+
+    def fork_session(self, session_id: str) -> Session:
+        """Clone a live session: structural engine fork plus its globals."""
+        parent = self.get(session_id)
+        with parent.lock:
+            engine = parent.engine.fork()
+            globals_values = parent.evaluator.globals
+        with self._lock:
+            session = self._new_session(parent.base, engine, globals_values)
+            self._admit(session)
+            return session
+
+    def _new_session(
+        self, base: Optional[str], engine: EGraph, globals_values: Dict[str, Value]
+    ) -> Session:
+        evaluator = Evaluator(engine)
+        evaluator.globals = dict(globals_values)
+        return Session(self._next_id(), base, evaluator)
+
+    def _next_id(self) -> str:
+        return f"s{next(self._ids)}"
+
+    def _admit(self, session: Session) -> None:
+        """Insert under the capacity cap, evicting idle LRU sessions first."""
+        self._sweep_idle()
+        while len(self._sessions) >= self.max_sessions:
+            victim = next(
+                (s for s in self._sessions.values() if not s.lock.locked()), None
+            )
+            if victim is None:
+                raise CapacityError(
+                    f"all {self.max_sessions} sessions are busy; try again later"
+                )
+            del self._sessions[victim.id]
+            self.evictions += 1
+        self._sessions[session.id] = session
+
+    def _sweep_idle(self) -> None:
+        if self.idle_ttl_s is None:
+            return
+        now = time.monotonic()
+        expired = [
+            s.id
+            for s in self._sessions.values()
+            if not s.lock.locked() and now - s.last_used > self.idle_ttl_s
+        ]
+        for session_id in expired:
+            del self._sessions[session_id]
+            self.evictions += 1
+
+    def get(self, session_id: str) -> Session:
+        """Look up a session and mark it most-recently-used."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise UnknownSessionError(f"no session {session_id!r} (evicted or never created)")
+            self._sessions.move_to_end(session_id)
+            session.last_used = time.monotonic()
+            return session
+
+    def remove_session(self, session_id: str) -> None:
+        with self._lock:
+            if session_id not in self._sessions:
+                raise UnknownSessionError(f"no session {session_id!r}")
+            del self._sessions[session_id]
+
+    def sessions(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [session.info() for session in self._sessions.values()]
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "sessions": len(self._sessions),
+                "max_sessions": self.max_sessions,
+                "bases": len(self._bases),
+                "evictions": self.evictions,
+                "strategy": self.strategy,
+                "idle_ttl_s": self.idle_ttl_s,
+                "compile_cache": CACHE.stats(),
+            }

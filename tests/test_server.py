@@ -1,0 +1,369 @@
+"""Service-layer tests: session manager, HTTP server, concurrency.
+
+Three layers, tested at their natural seams:
+
+* :class:`SessionManager` directly — base registration, in-memory forking,
+  LRU eviction with busy-session immunity, idle TTLs, error taxonomy;
+* the HTTP surface over a **real socket** — an asyncio server on an
+  ephemeral port, driven by ``http.client`` from the test thread, covering
+  the full lifecycle (base -> session -> run -> fork -> budgeted run ->
+  extract -> delete) plus transport errors;
+* the concurrency property — N threads hammering sessions forked from one
+  base must each reach exactly the state a serial run reaches, because
+  sessions share nothing mutable but the (lock-protected) compile cache.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.server import App, serve
+from repro.session import (
+    CapacityError,
+    DuplicateNameError,
+    ProgramError,
+    SessionManager,
+    UnknownBaseError,
+    UnknownSessionError,
+)
+
+TC_PROGRAM = """
+(relation edge (i64 i64))
+(relation path (i64 i64))
+(rule ((edge x y)) ((path x y)) :name "base")
+(rule ((path x y) (edge y z)) ((path x z)) :name "trans")
+(edge 1 2) (edge 2 3) (edge 3 4) (edge 4 5)
+"""
+
+CHECK_1_5 = {"op": "check", "facts": [["a", "path", [["l", ["i64", 1]], ["l", ["i64", 5]]]]]}
+
+
+# ---------------------------------------------------------------------------
+# SessionManager
+# ---------------------------------------------------------------------------
+
+
+def test_manager_base_and_session_lifecycle():
+    mgr = SessionManager()
+    info = mgr.add_base_from_program("tc", TC_PROGRAM)
+    assert info["name"] == "tc" and info["rows"] == 4 and info["source"] == "egg"
+    session = mgr.create_session("tc")
+    assert mgr.get(session.id) is session
+    assert session.run_egg("(run 10)\n(check (path 1 5))")[-1].startswith("check: ok")
+    assert mgr.bases()[0]["forks"] == 1
+    mgr.remove_session(session.id)
+    with pytest.raises(UnknownSessionError):
+        mgr.get(session.id)
+    mgr.remove_base("tc")
+    with pytest.raises(UnknownBaseError):
+        mgr.create_session("tc")
+
+
+def test_manager_error_taxonomy():
+    mgr = SessionManager()
+    mgr.add_base_from_program("tc", TC_PROGRAM)
+    with pytest.raises(DuplicateNameError):
+        mgr.add_base_from_program("tc", TC_PROGRAM)
+    with pytest.raises(UnknownBaseError):
+        mgr.create_session("nope")
+    with pytest.raises(UnknownSessionError):
+        mgr.remove_session("s999")
+    with pytest.raises(ProgramError):
+        mgr.add_base_from_program("broken", "(this is not a command)")
+    session = mgr.create_session("tc")
+    with pytest.raises(ProgramError):
+        session.run_egg("(check (no-such-relation 1))")
+    with pytest.raises(ProgramError):
+        session.run_program([{"op": "definitely-not-an-op"}])
+
+
+def test_manager_fork_isolation_between_siblings():
+    mgr = SessionManager()
+    mgr.add_base_from_program("tc", TC_PROGRAM)
+    a, b = mgr.create_session("tc"), mgr.create_session("tc")
+    a.run_egg("(run 10)")
+    # b never ran: the transitive fact exists only in a.
+    assert a.run_program([CHECK_1_5])[0]["ok"] is True
+    assert b.run_program([CHECK_1_5])[0]["ok"] is False
+    # New facts on b stay on b.
+    b.run_egg("(edge 5 6)")
+    assert b.engine.node_count() == 5
+    assert a.engine.node_count() > 5  # a ran to closure, without b's edge
+
+
+def test_manager_lru_eviction_prefers_least_recently_used():
+    mgr = SessionManager(max_sessions=2)
+    mgr.add_base_from_program("tc", TC_PROGRAM)
+    a = mgr.create_session("tc")
+    b = mgr.create_session("tc")
+    mgr.get(a.id)  # a is now most recently used; b is the LRU victim
+    c = mgr.create_session("tc")
+    assert mgr.get(a.id) is a and mgr.get(c.id) is c
+    with pytest.raises(UnknownSessionError):
+        mgr.get(b.id)
+    assert mgr.stats()["evictions"] == 1
+
+
+def test_manager_eviction_skips_busy_sessions():
+    mgr = SessionManager(max_sessions=2)
+    mgr.add_base_from_program("tc", TC_PROGRAM)
+    a = mgr.create_session("tc")
+    b = mgr.create_session("tc")
+    with a.lock:  # a is mid-batch: immune; the newer b gets evicted instead
+        c = mgr.create_session("tc")
+        assert mgr.get(a.id) is a
+        with pytest.raises(UnknownSessionError):
+            mgr.get(b.id)
+        # Every session busy -> capacity error, not a deadlock.
+        with c.lock:
+            with pytest.raises(CapacityError):
+                mgr.create_session("tc")
+
+
+def test_manager_idle_ttl_sweep():
+    mgr = SessionManager(idle_ttl_s=0.05)
+    mgr.add_base_from_program("tc", TC_PROGRAM)
+    old = mgr.create_session("tc")
+    time.sleep(0.08)
+    fresh = mgr.create_session("tc")  # admission sweeps expired sessions
+    with pytest.raises(UnknownSessionError):
+        mgr.get(old.id)
+    assert mgr.get(fresh.id) is fresh
+
+
+def test_manager_fork_session_carries_globals():
+    mgr = SessionManager()
+    s = mgr.create_session()
+    s.run_egg("(datatype M (N i64) (Plus M M))\n(let e (Plus (N 1) (N 2)))")
+    fork = mgr.fork_session(s.id)
+    assert fork.base is None and fork.id != s.id
+    assert fork.run_egg("(extract e)") == ["extract: (Plus (N 1) (N 2)) (cost 3)"]
+
+
+def test_budgeted_run_reports_partial_over_program_surface():
+    mgr = SessionManager()
+    mgr.add_base_from_program("tc", TC_PROGRAM)
+    s = mgr.create_session("tc")
+    (result,) = s.run_program([{"op": "run", "limit": 100, "max_nodes": 0}])
+    report = result["report"]
+    assert report["stopped_reason"] == "max-nodes"
+    assert report["iterations"] == 0 and not report["saturated"]
+
+
+# ---------------------------------------------------------------------------
+# HTTP server over a real socket
+# ---------------------------------------------------------------------------
+
+
+class LiveServer:
+    """An asyncio server on an ephemeral port, event loop in a daemon thread."""
+
+    def __init__(self, **manager_kwargs):
+        import asyncio
+
+        self.app = App(SessionManager(**manager_kwargs))
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+        holder = {}
+
+        def runner():
+            asyncio.set_event_loop(self.loop)
+            server = self.loop.run_until_complete(
+                serve(self.app.handle, "127.0.0.1", 0)
+            )
+            holder["port"] = server.sockets[0].getsockname()[1]
+            started.set()
+            try:
+                self.loop.run_forever()
+            finally:
+                server.close()
+                self.loop.run_until_complete(server.wait_closed())
+                self.loop.close()
+
+        self.thread = threading.Thread(target=runner, daemon=True)
+        self.thread.start()
+        assert started.wait(5), "server did not start"
+        self.port = holder["port"]
+
+    def stop(self):
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(5)
+
+    def request(self, method, path, body=None):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=10)
+        try:
+            payload = json.dumps(body) if body is not None else None
+            conn.request(method, path, body=payload)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            conn.close()
+
+
+@pytest.fixture()
+def server():
+    live = LiveServer()
+    yield live
+    live.stop()
+
+
+def test_http_full_lifecycle(server):
+    status, body = server.request("GET", "/healthz")
+    assert status == 200 and body["ok"]
+
+    status, body = server.request("POST", "/bases", {"name": "tc", "program": TC_PROGRAM})
+    assert status == 201 and body["base"]["rows"] == 4
+
+    status, body = server.request("POST", "/sessions", {"base": "tc"})
+    assert status == 201
+    sid = body["session"]["id"]
+
+    # Fork *before* running: the fork stays at the base state.
+    status, body = server.request("POST", f"/sessions/{sid}/fork")
+    assert status == 201
+    fid = body["session"]["id"]
+
+    status, body = server.request(
+        "POST", f"/sessions/{sid}/egg", {"program": "(run 10)\n(check (path 1 5))"}
+    )
+    assert status == 200 and body["lines"][-1].startswith("check: ok")
+
+    status, body = server.request("POST", f"/sessions/{fid}/program", {"ops": [CHECK_1_5]})
+    assert status == 200 and body["results"][0]["ok"] is False  # isolation
+
+    # Budget expiry over HTTP: zero deadline stops before the first iteration.
+    status, body = server.request(
+        "POST",
+        f"/sessions/{fid}/program",
+        {"ops": [{"op": "run", "limit": 100, "deadline_ms": 0}]},
+    )
+    report = body["results"][0]["report"]
+    assert status == 200 and report["stopped_reason"] == "deadline"
+    assert report["iterations"] == 0
+
+    status, body = server.request("GET", "/stats")
+    assert status == 200 and body["stats"]["sessions"] == 2
+    assert "compile_cache" in body["stats"]
+
+    status, body = server.request("DELETE", f"/sessions/{fid}")
+    assert status == 200
+    status, body = server.request("GET", f"/sessions/{fid}")
+    assert status == 404
+
+
+def test_http_error_statuses(server):
+    assert server.request("GET", "/no/such/route")[0] == 404
+    assert server.request("DELETE", "/healthz")[0] == 405
+    assert server.request("POST", "/sessions", {"base": "ghost"})[0] == 404
+    server.request("POST", "/bases", {"name": "tc", "program": TC_PROGRAM})
+    assert server.request("POST", "/bases", {"name": "tc", "program": TC_PROGRAM})[0] == 409
+    assert server.request("POST", "/bases", {"name": "x"})[0] == 400  # no program/path
+    status, body = server.request("POST", "/sessions", {"base": "tc"})
+    sid = body["session"]["id"]
+    status, body = server.request(
+        "POST", f"/sessions/{sid}/program", {"ops": [{"op": "nope"}]}
+    )
+    assert status == 422 and "unknown op" in body["error"]
+    # Malformed JSON body -> 400 at the transport layer.
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+    try:
+        conn.request("POST", "/sessions", body="{not json")
+        response = conn.getresponse()
+        assert response.status == 400
+        response.read()
+    finally:
+        conn.close()
+
+
+def test_http_snapshot_base(server, tmp_path):
+    # Round-trip a base through a real snapshot file.
+    from repro.frontend import Evaluator
+
+    ev = Evaluator()
+    ev.run_program(TC_PROGRAM + "\n(run 10)")
+    path = tmp_path / "tc.json"
+    ev.save_snapshot(str(path))
+    status, body = server.request(
+        "POST", "/bases", {"name": "warm", "snapshot_path": str(path)}
+    )
+    assert status == 201 and body["base"]["source"] == "snapshot"
+    status, body = server.request("POST", "/sessions", {"base": "warm"})
+    sid = body["session"]["id"]
+    # The base was saturated before saving: the fact is already there.
+    status, body = server.request("POST", f"/sessions/{sid}/program", {"ops": [CHECK_1_5]})
+    assert body["results"][0]["ok"] is True
+    assert server.request("POST", "/bases", {"name": "bad", "snapshot_path": "/nope.json"})[0] == 400
+
+
+# ---------------------------------------------------------------------------
+# Concurrency property: N threads == serial
+# ---------------------------------------------------------------------------
+
+
+def _saturate_and_observe(session):
+    """Run a session's chain to closure; return every observable we track."""
+    lines = session.run_egg("(run 100)")
+    results = session.run_program(
+        [CHECK_1_5, {"op": "check", "facts": [["a", "path", [["l", ["i64", 2]], ["l", ["i64", 5]]]]]}]
+    )
+    return lines, results, session.engine.node_count()
+
+
+def test_concurrent_sessions_match_serial():
+    mgr = SessionManager(max_sessions=32)
+    mgr.add_base_from_program("tc", TC_PROGRAM)
+
+    # Serial reference: one session, run on the main thread.
+    expected = _saturate_and_observe(mgr.create_session("tc"))
+
+    n_threads = 8
+    outcomes = [None] * n_threads
+    errors = []
+    barrier = threading.Barrier(n_threads)
+
+    def worker(i):
+        try:
+            session = mgr.create_session("tc")
+            barrier.wait(timeout=10)  # maximize interleaving
+            outcomes[i] = _saturate_and_observe(session)
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            errors.append((i, error))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors, f"worker failures: {errors}"
+    for i, outcome in enumerate(outcomes):
+        assert outcome == expected, f"thread {i} diverged from the serial run"
+
+
+def test_concurrent_http_clients_stay_isolated(server):
+    server.request("POST", "/bases", {"name": "tc", "program": TC_PROGRAM})
+    n_clients = 6
+    results = [None] * n_clients
+    errors = []
+
+    def client(i):
+        try:
+            _, body = server.request("POST", "/sessions", {"base": "tc"})
+            sid = body["session"]["id"]
+            if i % 2 == 0:
+                server.request("POST", f"/sessions/{sid}/egg", {"program": "(run 100)"})
+            _, body = server.request("POST", f"/sessions/{sid}/program", {"ops": [CHECK_1_5]})
+            results[i] = body["results"][0]["ok"]
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            errors.append((i, error))
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(n_clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors, f"client failures: {errors}"
+    # Even clients ran to closure (fact present), odd clients never ran.
+    assert results == [i % 2 == 0 for i in range(n_clients)]
