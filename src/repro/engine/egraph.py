@@ -688,33 +688,77 @@ class EGraph:
 
     # -- push / pop -----------------------------------------------------------
 
-    def push(self) -> int:
-        """Save the full engine state on a stack (the ``push`` command, §3.1).
+    def snapshot_state(self) -> dict:
+        """Capture the full observable engine state as an opaque snapshot.
 
         Everything observable is captured: the union-find, every table's
         rows, declarations, rules and their semi-naïve watermarks, the
-        timestamp, and the update counter.  Returns the new stack depth.
+        timestamp, and the update counter.  The snapshot is *out of band* —
+        it does not touch the :meth:`push`/:meth:`pop` stack, so holders
+        (the session layer's transactional batches) can roll back without
+        disturbing client-visible push/pop pairing.  Compiled executors are
+        invalidated on capture, mirroring :meth:`push`: plans minted before
+        the capture must not survive a later :meth:`restore_state`.
         """
-        self._snapshots.append(
-            {
-                "uf": self.uf.snapshot(),
-                "sorts": dict(self.sorts),
-                "decls": dict(self.decls),
-                "tables": {name: table.snapshot() for name, table in self.tables.items()},
-                "rules": dict(self.rules),
-                "watermarks": {name: rule.last_run for name, rule in self.rules.items()},
-                "rulesets": {name: list(rules) for name, rules in self.rulesets.items()},
-                "timestamp": self.timestamp,
-                "updates": self._updates,
-                "proof_log": (
-                    dict(self._proof_log) if self._proof_log is not None else None
-                ),
-            }
-        )
-        # Rules compiled before the push must not run against the pushed
-        # scope's tables/declarations with plans minted outside it (and
-        # vice versa after the pop) — invalidate on both edges.
+        state = {
+            "uf": self.uf.snapshot(),
+            "sorts": dict(self.sorts),
+            "decls": dict(self.decls),
+            "tables": {name: table.snapshot() for name, table in self.tables.items()},
+            "rules": dict(self.rules),
+            "watermarks": {name: rule.last_run for name, rule in self.rules.items()},
+            "rulesets": {name: list(rules) for name, rules in self.rulesets.items()},
+            "timestamp": self.timestamp,
+            "updates": self._updates,
+            "proof_log": (
+                dict(self._proof_log) if self._proof_log is not None else None
+            ),
+        }
         self.invalidate_compiled()
+        return state
+
+    def restore_state(self, snap: dict) -> None:
+        """Reinstall a :meth:`snapshot_state` capture, discarding all changes
+        made since.  E-class ids allocated after the capture become invalid.
+        """
+        self.uf.restore(snap["uf"])
+        self.sorts = snap["sorts"]
+        self.decls = snap["decls"]
+        # Tables declared after the capture are dropped; surviving Table
+        # objects are restored in place (rules hold no table refs, but
+        # this keeps any external handles coherent).  A table present at
+        # capture but gone now (an in-batch ``load`` replaced the schema)
+        # is recreated from its declaration.
+        self.tables = {
+            name: self.tables[name] for name in snap["tables"] if name in self.tables
+        }
+        for name, state in snap["tables"].items():
+            table = self.tables.get(name)
+            if table is None:
+                table = self.tables[name] = Table(self.decls[name])
+            table.restore(state)
+        self.rules = snap["rules"]
+        for name, last_run in snap["watermarks"].items():
+            self.rules[name].last_run = last_run
+        self.rulesets = snap["rulesets"]
+        self.timestamp = snap["timestamp"]
+        self._updates = snap["updates"]
+        if self._proof_log is not None and snap["proof_log"] is not None:
+            # Nodes logged after the capture reference ids that no longer
+            # exist once the union-find snapshot is reinstalled.
+            self._proof_log = dict(snap["proof_log"])
+        self._eq_sorts = {
+            name for name, sort in self.sorts.items() if sort.is_eq_sort
+        }
+        self.invalidate_compiled()
+
+    def push(self) -> int:
+        """Save the full engine state on a stack (the ``push`` command, §3.1).
+
+        Returns the new stack depth.  See :meth:`snapshot_state` for what
+        is captured.
+        """
+        self._snapshots.append(self.snapshot_state())
         return len(self._snapshots)
 
     def pop(self, count: int = 1) -> int:
@@ -730,32 +774,7 @@ class EGraph:
                 f"pop {count} without matching push (stack depth {len(self._snapshots)})"
             )
         for _ in range(count):
-            snap = self._snapshots.pop()
-            self.uf.restore(snap["uf"])
-            self.sorts = snap["sorts"]
-            self.decls = snap["decls"]
-            # Tables declared after the push are dropped; surviving Table
-            # objects are restored in place (rules hold no table refs, but
-            # this keeps any external handles coherent).
-            self.tables = {
-                name: self.tables[name] for name in snap["tables"] if name in self.tables
-            }
-            for name, state in snap["tables"].items():
-                self.tables[name].restore(state)
-            self.rules = snap["rules"]
-            for name, last_run in snap["watermarks"].items():
-                self.rules[name].last_run = last_run
-            self.rulesets = snap["rulesets"]
-            self.timestamp = snap["timestamp"]
-            self._updates = snap["updates"]
-            if self._proof_log is not None and snap["proof_log"] is not None:
-                # Nodes logged after the push reference ids that no longer
-                # exist once the union-find snapshot is reinstalled.
-                self._proof_log = dict(snap["proof_log"])
-        self._eq_sorts = {
-            name for name, sort in self.sorts.items() if sort.is_eq_sort
-        }
-        self.invalidate_compiled()
+            self.restore_state(self._snapshots.pop())
         return len(self._snapshots)
 
     # -- querying / checking --------------------------------------------------

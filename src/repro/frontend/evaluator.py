@@ -39,6 +39,7 @@ from .errors import (
 )
 from ..serialize import SnapshotError
 from ..serialize.encode import decode_values, encode_values
+from ..testing.faults import trip
 from .parser import (
     CheckCmd,
     Command,
@@ -81,6 +82,11 @@ class Evaluator:
         self.egraph = egraph if egraph is not None else EGraph(strategy=strategy)
         self.globals: Dict[str, Value] = {}
         self._globals_stack: List[Dict[str, Value]] = []
+        #: Ambient run budgets applied to ``run``/``run-schedule`` commands
+        #: that do not carry their own — the session service sets these to
+        #: enforce per-request deadlines over the ``.egg`` surface.
+        self.default_deadline_s: Optional[float] = None
+        self.default_max_nodes: Optional[int] = None
         self._sink = sink
         self.lines: List[str] = []
         self.filename: Optional[str] = None
@@ -100,7 +106,8 @@ class Evaluator:
         self.filename = filename
         start = len(self.lines)
         try:
-            for command in parse_program(text, filename):
+            for index, command in enumerate(parse_program(text, filename)):
+                trip("egg.command", tag=index)
                 self.execute(command)
         finally:
             self.filename = previous
@@ -453,9 +460,13 @@ class Evaluator:
             cmd.limit,
             ruleset=cmd.ruleset,
             deadline_s=(
-                cmd.deadline_ms / 1000.0 if cmd.deadline_ms is not None else None
+                cmd.deadline_ms / 1000.0
+                if cmd.deadline_ms is not None
+                else self.default_deadline_s
             ),
-            max_nodes=cmd.max_nodes,
+            max_nodes=(
+                cmd.max_nodes if cmd.max_nodes is not None else self.default_max_nodes
+            ),
         )
         self.report.merge_with(report)
         if report.stopped_reason:
@@ -473,7 +484,11 @@ class Evaluator:
 
     def _do_run_schedule(self, cmd: RunScheduleCmd) -> None:
         schedules = tuple(self._lower_schedule(sexp) for sexp in cmd.schedules)
-        report = self.egraph.run_schedule(*schedules)
+        report = self.egraph.run_schedule(
+            *schedules,
+            deadline_s=self.default_deadline_s,
+            max_nodes=self.default_max_nodes,
+        )
         self.report.merge_with(report)
         status = "saturated" if report.saturated else "done"
         self.emit(
@@ -627,6 +642,23 @@ class Evaluator:
             self.globals = self._globals_stack.pop()
 
     # -- persistence ----------------------------------------------------------
+
+    def session_snapshot(self) -> tuple:
+        """Capture the evaluator-owned session state (the global ``let``
+        environment and its push/pop stack) for a later
+        :meth:`session_restore`.  The engine is *not* captured — pair this
+        with :meth:`EGraph.snapshot_state` for a full transactional
+        snapshot (the session layer's atomic batches do exactly that).
+        """
+        return (
+            dict(self.globals),
+            [dict(scope) for scope in self._globals_stack],
+        )
+
+    def session_restore(self, snap: tuple) -> None:
+        """Reinstall a :meth:`session_snapshot` capture."""
+        self.globals = dict(snap[0])
+        self._globals_stack = [dict(scope) for scope in snap[1]]
 
     def save_snapshot(self, path: str) -> None:
         """Snapshot the engine plus this session's global ``let`` bindings.

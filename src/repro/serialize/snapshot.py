@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from typing import Any, Dict, List, Optional, Tuple
 
 from .._version import package_version
@@ -98,9 +99,38 @@ def dumps_document(document: Dict[str, Any]) -> str:
 
 
 def write_snapshot(document: Dict[str, Any], path: str) -> None:
-    """Write a snapshot document to ``path`` (canonical rendering)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dumps_document(document))
+    """Write a snapshot document to ``path``, atomically.
+
+    The document goes to a sibling temp file first (written, flushed, and
+    fsynced), then lands via ``os.replace`` — so a crash at any instant
+    leaves either the old complete file or the new complete file, never a
+    truncated hybrid.  A stale temp file from an earlier crash is simply
+    overwritten by the next save; readers never look at it.
+    """
+    from ..testing.faults import trip
+
+    text = dumps_document(document)
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            # Two writes so the "disk died mid-write" injection point fires
+            # with a genuinely partial document on disk.
+            half = len(text) // 2
+            handle.write(text[:half])
+            trip("snapshot.write", tag=path)
+            handle.write(text[half:])
+            handle.flush()
+            os.fsync(handle.fileno())
+        trip("snapshot.rename", tag=path)
+        os.replace(tmp, path)
+    except BaseException:
+        # Best-effort cleanup; an ``exit``-action fault (or a real crash)
+        # skips this, which is exactly the stale-temp case handled above.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def read_document(path: str) -> Dict[str, Any]:

@@ -14,11 +14,22 @@ Endpoints (all JSON; see ``docs/SERVER.md`` for full schemas)::
     POST   /sessions/<id>/fork        clone a live session
     POST   /sessions/<id>/egg         {"program": ".egg text"} -> {"lines": [...]}
     POST   /sessions/<id>/program     {"ops": [...]} -> {"results": [...]}
+    POST   /sessions/<id>/checkpoint  write a durable checkpoint now
+
+``egg`` and ``program`` accept optional ``"atomic"`` (default true: the
+batch rolls back entirely on failure) and ``"deadline_ms"`` (per-batch run
+budget) fields.
 
 Session-layer errors map to statuses (unknown -> 404, duplicate -> 409,
-capacity -> 503, bad program -> 422).  Engine work is blocking and
-CPU-bound, so every dispatch runs in a worker thread — the session mutexes
-do the serialization, the event loop stays free to accept connections.
+capacity -> 503, bad program -> 422, checkpoint failure -> 500).  Engine
+work is blocking and CPU-bound, so every dispatch runs in a worker thread —
+the session mutexes do the serialization, the event loop stays free to
+accept connections.
+
+Overload behaviour: the app tracks in-flight dispatches on the event-loop
+side.  Past ``max_pending`` — or once :meth:`App.drain` has been called
+during shutdown — new work is refused with 503 and a ``Retry-After``
+header instead of queueing without bound.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from typing import Any, Dict, Optional, Tuple
 from .._version import package_version
 from ..session import (
     CapacityError,
+    CheckpointError,
     DuplicateNameError,
     ProgramError,
     Session,
@@ -42,14 +54,19 @@ from .http import HttpError
 
 Json = Any
 
+#: Ordered most-specific first; CheckpointError is a server-side failure.
 _ERROR_STATUS = (
     (UnknownSessionError, 404),
     (UnknownBaseError, 404),
     (DuplicateNameError, 409),
     (CapacityError, 503),
     (ProgramError, 422),
+    (CheckpointError, 500),
     (SessionError, 400),
 )
+
+#: Sent with every 503 so well-behaved clients back off before retrying.
+RETRY_AFTER_S = 1
 
 
 def _status_of(error: SessionError) -> int:
@@ -60,17 +77,76 @@ def _status_of(error: SessionError) -> int:
 
 
 class App:
-    """The service: one manager, a blocking dispatcher, an async adapter."""
+    """The service: one manager, a blocking dispatcher, an async adapter.
 
-    def __init__(self, manager: Optional[SessionManager] = None) -> None:
+    ``deadline_ms`` is the default per-batch run budget applied to ``egg``
+    and ``program`` requests that don't set their own; ``max_pending``
+    bounds how many dispatches may be in flight at once before new work is
+    refused with 503.
+    """
+
+    def __init__(
+        self,
+        manager: Optional[SessionManager] = None,
+        *,
+        deadline_ms: Optional[int] = None,
+        max_pending: Optional[int] = None,
+    ) -> None:
         self.manager = manager if manager is not None else SessionManager()
+        self.deadline_ms = deadline_ms
+        self.max_pending = max_pending
+        self.pending = 0  # touched only on the event loop — no lock needed
+        self.draining = False
+        self.rejected = 0  # 503s from overload/drain, for /stats
+        self._idle = asyncio.Event()
+        self._idle.set()
 
     # -- async adapter (the event-loop side) ----------------------------------
 
-    async def handle(self, method: str, path: str, body: bytes) -> Tuple[int, Json]:
+    async def handle(self, method: str, path: str, body: bytes) -> Tuple[Any, ...]:
+        if self.draining:
+            self.rejected += 1
+            return self._unavailable("server is draining; retry against a new instance")
+        if self.max_pending is not None and self.pending >= self.max_pending:
+            self.rejected += 1
+            return self._unavailable(
+                f"too many requests in flight (max_pending={self.max_pending})"
+            )
         payload = self._decode_body(body)
         loop = asyncio.get_event_loop()
-        return await loop.run_in_executor(None, self.dispatch, method, path, payload)
+        self.pending += 1
+        self._idle.clear()
+        try:
+            status, obj = await loop.run_in_executor(
+                None, self.dispatch, method, path, payload
+            )
+        finally:
+            self.pending -= 1
+            if self.pending == 0:
+                self._idle.set()
+        if status == 503:
+            return status, obj, {"Retry-After": str(RETRY_AFTER_S)}
+        return status, obj
+
+    @staticmethod
+    def _unavailable(reason: str) -> Tuple[int, Json, Dict[str, str]]:
+        return 503, {"ok": False, "error": reason}, {"Retry-After": str(RETRY_AFTER_S)}
+
+    async def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Stop accepting work and wait for in-flight dispatches to finish.
+
+        Returns True if the app went idle within ``timeout_s`` (None waits
+        forever).  Call from the event loop during shutdown, then checkpoint
+        via the manager.
+        """
+        self.draining = True
+        if self.pending == 0:
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout_s)
+            return True
+        except asyncio.TimeoutError:
+            return False
 
     @staticmethod
     def _decode_body(body: bytes) -> Json:
@@ -101,7 +177,15 @@ class App:
             return 200, {"ok": True, "version": package_version()}
         if parts == ["stats"]:
             self._require(method, "GET")
-            return 200, {"ok": True, "stats": self.manager.stats()}
+            stats = self.manager.stats()
+            stats["server"] = {
+                "pending": self.pending,
+                "max_pending": self.max_pending,
+                "draining": self.draining,
+                "rejected": self.rejected,
+                "deadline_ms": self.deadline_ms,
+            }
+            return 200, {"ok": True, "stats": stats}
 
         if parts == ["bases"]:
             if method == "GET":
@@ -170,12 +254,34 @@ class App:
             if not isinstance(program, str):
                 raise HttpError(400, "field 'program' must be a string")
             session = self.manager.get(session_id)
-            return 200, {"ok": True, "lines": session.run_egg(program)}
+            lines = session.run_egg(program, **self._batch_options(payload))
+            return 200, {"ok": True, "lines": lines}
         if action == "program":
             self._require(method, "POST")
             session = self.manager.get(session_id)
-            return 200, {"ok": True, "results": session.run_program(payload.get("ops"))}
+            results = session.run_program(
+                payload.get("ops"), **self._batch_options(payload)
+            )
+            return 200, {"ok": True, "results": results}
+        if action == "checkpoint":
+            self._require(method, "POST")
+            written = self.manager.checkpoint_session(session_id)
+            return 200, {"ok": True, "checkpoint": written}
         raise HttpError(404, f"unknown session action {action!r}")
+
+    def _batch_options(self, payload: Dict[str, Json]) -> Dict[str, Json]:
+        """Per-request batch knobs, falling back to the app-wide deadline."""
+        atomic = payload.get("atomic", True)
+        if not isinstance(atomic, bool):
+            raise HttpError(400, "field 'atomic' must be a boolean")
+        deadline_ms = payload.get("deadline_ms", self.deadline_ms)
+        if deadline_ms is not None and (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, int)
+            or deadline_ms <= 0
+        ):
+            raise HttpError(400, "field 'deadline_ms' must be a positive integer")
+        return {"atomic": atomic, "deadline_ms": deadline_ms}
 
     @staticmethod
     def _require(method: str, expected: str) -> None:

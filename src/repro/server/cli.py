@@ -7,6 +7,11 @@ HTTP API until SIGINT/SIGTERM.  The first line on stdout is always::
     repro-serve listening on http://HOST:PORT
 
 so scripts can bind ``--port 0`` and scrape the ephemeral port.
+
+With ``--state-dir DIR`` sessions survive the process: evicted/expired
+sessions are checkpointed there and transparently restored on next touch,
+and shutdown drains in-flight batches then checkpoints every live session
+so a restart with the same directory picks up where it left off.
 """
 
 from __future__ import annotations
@@ -52,6 +57,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict sessions idle longer than this (default: never)",
     )
     parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="checkpoint sessions to DIR on eviction/expiry/shutdown and "
+        "restore them on demand (default: sessions are memory-only)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="default per-batch run budget; requests may override (default: none)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="refuse work with 503 past N in-flight requests (default: unbounded)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="close keep-alive connections idle longer than this (default: never)",
+    )
+    parser.add_argument(
+        "--read-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="answer 408 when a request's headers/body stall past this (default: never)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on shutdown, wait at most this long for in-flight batches "
+        "before checkpointing (default %(default)s)",
+    )
+    parser.add_argument(
         "--base",
         action="append",
         default=[],
@@ -78,8 +126,14 @@ def _preload_bases(manager: SessionManager, specs: List[str]) -> None:
               f"{info['rows']} row(s) [{info['source']}]", flush=True)
 
 
-async def _run(app: App, host: str, port: int) -> None:
-    server = await serve(app.handle, host, port)
+async def _run(app: App, host: str, port: int, args: argparse.Namespace) -> None:
+    server = await serve(
+        app.handle,
+        host,
+        port,
+        idle_timeout_s=args.idle_timeout,
+        read_timeout_s=args.read_timeout,
+    )
     bound = server.sockets[0].getsockname()
     print(f"repro-serve listening on http://{bound[0]}:{bound[1]}", flush=True)
 
@@ -98,8 +152,16 @@ async def _run(app: App, host: str, port: int) -> None:
     try:
         await stop
     finally:
+        # Graceful drain: stop accepting connections, refuse new work,
+        # let in-flight batches finish, then persist every live session.
         server.close()
         await server.wait_closed()
+        drained = await app.drain(args.drain_timeout)
+        if not drained:
+            print("repro-serve drain timed out; checkpointing anyway", flush=True)
+        if app.manager.store is not None:
+            written = await loop.run_in_executor(None, app.manager.checkpoint_all)
+            print(f"repro-serve checkpointed {written} session(s)", flush=True)
     print("repro-serve stopped", flush=True)
 
 
@@ -109,10 +171,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         strategy=args.strategy,
         max_sessions=args.max_sessions,
         idle_ttl_s=args.idle_ttl,
+        state_dir=args.state_dir,
     )
+    if manager.store is not None and len(manager.store):
+        print(
+            f"repro-serve state dir has {len(manager.store)} restorable session(s)",
+            flush=True,
+        )
     _preload_bases(manager, args.base)
+    app = App(manager, deadline_ms=args.deadline_ms, max_pending=args.max_pending)
     try:
-        asyncio.run(_run(App(manager), args.host, args.port))
+        asyncio.run(_run(app, args.host, args.port, args))
     except KeyboardInterrupt:  # pragma: no cover - signal handler usually wins
         pass
     return 0

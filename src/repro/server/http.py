@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Awaitable, Callable, Optional, Tuple
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
 from .._version import package_version
 
@@ -30,6 +30,7 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
@@ -37,7 +38,8 @@ _STATUS_TEXT = {
     503: "Service Unavailable",
 }
 
-Handler = Callable[[str, str, bytes], Awaitable[Tuple[int, Any]]]
+#: A handler returns ``(status, json_obj)`` or ``(status, json_obj, headers)``.
+Handler = Callable[[str, str, bytes], Awaitable[Tuple[Any, ...]]]
 
 
 class HttpError(Exception):
@@ -64,11 +66,34 @@ async def _read_line(reader: asyncio.StreamReader) -> bytes:
 
 async def _read_request(
     reader: asyncio.StreamReader,
+    idle_timeout_s: Optional[float] = None,
+    read_timeout_s: Optional[float] = None,
 ) -> Optional[Tuple[str, str, bytes, bool]]:
-    """One request off the wire: (method, path, body, keep_alive); None at EOF."""
-    request_line = await _read_line(reader)
+    """One request off the wire: (method, path, body, keep_alive); None at EOF.
+
+    ``idle_timeout_s`` bounds the wait for the *first* byte of a request
+    (an idle keep-alive connection past it is closed silently, returning
+    None); ``read_timeout_s`` bounds reading the rest — headers and body —
+    once a request has started, so a stalled or drip-feeding client cannot
+    pin a connection forever (it gets 408 via :class:`HttpError`).
+    """
+    try:
+        request_line = await asyncio.wait_for(_read_line(reader), idle_timeout_s)
+    except asyncio.TimeoutError:
+        return None  # idle keep-alive connection expired; close quietly
     if not request_line:
         return None
+    try:
+        return await asyncio.wait_for(
+            _read_request_rest(reader, request_line), read_timeout_s
+        )
+    except asyncio.TimeoutError:
+        raise HttpError(408, "timed out reading request headers/body") from None
+
+
+async def _read_request_rest(
+    reader: asyncio.StreamReader, request_line: bytes
+) -> Tuple[str, str, bytes, bool]:
     parts = request_line.decode("latin-1").split()
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise HttpError(400, f"malformed request line {request_line!r}")
@@ -105,26 +130,37 @@ async def _read_request(
     return method.upper(), path, body, keep_alive
 
 
-def _encode_response(status: int, obj: Any, keep_alive: bool) -> bytes:
+def _encode_response(
+    status: int,
+    obj: Any,
+    keep_alive: bool,
+    headers: Optional[Dict[str, str]] = None,
+) -> bytes:
     payload = json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+    extra = "".join(f"{name}: {value}\r\n" for name, value in (headers or {}).items())
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(payload)}\r\n"
         f"Server: repro-serve/{package_version()}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extra}"
         f"\r\n"
     )
     return head.encode("latin-1") + payload
 
 
 async def _handle_connection(
-    handler: Handler, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    handler: Handler,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    idle_timeout_s: Optional[float] = None,
+    read_timeout_s: Optional[float] = None,
 ) -> None:
     try:
         while True:
             try:
-                request = await _read_request(reader)
+                request = await _read_request(reader, idle_timeout_s, read_timeout_s)
             except HttpError as error:
                 writer.write(
                     _encode_response(
@@ -136,13 +172,18 @@ async def _handle_connection(
             if request is None:
                 break
             method, path, body, keep_alive = request
+            headers: Optional[Dict[str, str]] = None
             try:
-                status, obj = await handler(method, path, body)
+                answer = await handler(method, path, body)
+                if len(answer) == 3:
+                    status, obj, headers = answer  # type: ignore[misc]
+                else:
+                    status, obj = answer  # type: ignore[misc]
             except HttpError as error:
                 status, obj = error.status, {"ok": False, "error": str(error)}
             except Exception as error:  # noqa: BLE001 - last-resort 500
                 status, obj = 500, {"ok": False, "error": f"internal error: {error}"}
-            writer.write(_encode_response(status, obj, keep_alive))
+            writer.write(_encode_response(status, obj, keep_alive, headers))
             await writer.drain()
             if not keep_alive:
                 break
@@ -156,12 +197,19 @@ async def _handle_connection(
             pass
 
 
-async def serve(handler: Handler, host: str, port: int) -> "asyncio.base_events.Server":
+async def serve(
+    handler: Handler,
+    host: str,
+    port: int,
+    *,
+    idle_timeout_s: Optional[float] = None,
+    read_timeout_s: Optional[float] = None,
+) -> "asyncio.base_events.Server":
     """Start listening; returns the asyncio server (caller owns shutdown)."""
 
     async def on_connection(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        await _handle_connection(handler, reader, writer)
+        await _handle_connection(handler, reader, writer, idle_timeout_s, read_timeout_s)
 
     return await asyncio.start_server(on_connection, host, port, limit=MAX_LINE)

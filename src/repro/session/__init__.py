@@ -16,6 +16,7 @@ drive them.
 
 from .errors import (
     CapacityError,
+    CheckpointError,
     DuplicateNameError,
     ProgramError,
     SessionError,
@@ -24,9 +25,12 @@ from .errors import (
 )
 from .manager import Session, SessionManager
 from .program import report_json, run_ops
+from .store import CheckpointStore
 
 __all__ = [
     "CapacityError",
+    "CheckpointError",
+    "CheckpointStore",
     "DuplicateNameError",
     "ProgramError",
     "Session",

@@ -25,3 +25,9 @@ class CapacityError(SessionError):
 
 class ProgramError(SessionError):
     """A submitted program is malformed or failed against the engine (422)."""
+
+
+class CheckpointError(SessionError):
+    """A checkpoint could not be written or read back — a server-side
+    durability failure (unreadable state dir, corrupt snapshot file), not a
+    client mistake (500)."""

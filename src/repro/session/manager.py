@@ -22,8 +22,9 @@ import itertools
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..core.values import Value
 from ..engine.compilecache import CACHE
@@ -34,12 +35,14 @@ from ..serialize.encode import decode_values
 from ..serialize.snapshot import engine_from_document, read_document
 from .errors import (
     CapacityError,
+    CheckpointError,
     DuplicateNameError,
     ProgramError,
     UnknownBaseError,
     UnknownSessionError,
 )
 from .program import Json, run_ops
+from .store import CheckpointStore
 
 
 def _egg_globals(document: Dict[str, Any]) -> List[Any]:
@@ -97,20 +100,101 @@ class Session:
         self.last_used = time.monotonic()
         self.batches += 1
 
-    def run_egg(self, text: str) -> List[str]:
-        """Run a batch of ``.egg`` commands; returns the lines it printed."""
-        with self.lock:
-            self.touch()
-            try:
-                return self.evaluator.run_program(text, f"<session {self.id}>")
-            except FrontendError as error:
-                raise ProgramError(str(error)) from error
+    @contextmanager
+    def _transaction(self, atomic: bool) -> Iterator[None]:
+        """All-or-nothing batch scope: roll back on any failure.
 
-    def run_program(self, ops: Json) -> List[Json]:
-        """Run a JSON-encoded program (see :mod:`repro.session.program`)."""
+        The snapshot is *out of band* — :meth:`EGraph.snapshot_state`
+        rather than ``push()`` — so client-visible ``(push)``/``(pop)``
+        pairing across batches is untouched: a ``(pop)`` in a later batch
+        still restores the client's own ``(push)``, never a transaction
+        marker.  Rollback reinstalls the engine state, the engine's
+        push/pop stack as it stood at batch entry (pushes made by the
+        failed batch vanish), and the evaluator's global environment.
+
+        Side effects outside the engine — a ``(save)`` that wrote a file,
+        a ``(load)`` that replaced the whole session state mid-batch —
+        are not unwound; the rollback restores the pre-batch state on a
+        best-effort basis even then (tables are recreated as needed).
+        """
+        if not atomic:
+            yield
+            return
+        engine = self.engine
+        state = engine.snapshot_state()
+        # Entries are immutable once captured, so a shallow list copy
+        # pins the pre-batch push/pop stack.
+        stack = list(engine._snapshots)
+        frontend = self.evaluator.session_snapshot()
+        try:
+            yield
+        except BaseException:
+            engine.restore_state(state)
+            engine._snapshots = stack
+            self.evaluator.session_restore(frontend)
+            raise
+
+    @contextmanager
+    def _budgets(self, deadline_ms: Optional[int], max_nodes: Optional[int]) -> Iterator[None]:
+        """Apply per-request default budgets to the ``.egg`` surface."""
+        evaluator = self.evaluator
+        evaluator.default_deadline_s = (
+            deadline_ms / 1000.0 if deadline_ms is not None else None
+        )
+        evaluator.default_max_nodes = max_nodes
+        try:
+            yield
+        finally:
+            evaluator.default_deadline_s = None
+            evaluator.default_max_nodes = None
+
+    def run_egg(
+        self,
+        text: str,
+        *,
+        atomic: bool = True,
+        deadline_ms: Optional[int] = None,
+        max_nodes: Optional[int] = None,
+    ) -> List[str]:
+        """Run a batch of ``.egg`` commands; returns the lines it printed.
+
+        With ``atomic`` (the default) a failing command rolls the session
+        back to its pre-batch state; ``deadline_ms``/``max_nodes`` are
+        default budgets for ``run``/``run-schedule`` commands that carry
+        none of their own.
+        """
         with self.lock:
             self.touch()
-            return run_ops(self.engine, ops, self.evaluator.globals)
+            with self._transaction(atomic), self._budgets(deadline_ms, max_nodes):
+                try:
+                    return self.evaluator.run_program(text, f"<session {self.id}>")
+                except FrontendError as error:
+                    raise ProgramError(str(error)) from error
+
+    def run_program(
+        self,
+        ops: Json,
+        *,
+        atomic: bool = True,
+        deadline_ms: Optional[int] = None,
+        max_nodes: Optional[int] = None,
+    ) -> List[Json]:
+        """Run a JSON-encoded program (see :mod:`repro.session.program`).
+
+        Same transactional semantics as :meth:`run_egg`: by default a
+        program failing at op *k* leaves the session byte-identical to its
+        pre-batch state instead of keeping ops ``1..k-1`` applied.
+        """
+        with self.lock:
+            self.touch()
+            with self._transaction(atomic):
+                return run_ops(
+                    self.engine,
+                    ops,
+                    self.evaluator.globals,
+                    default_deadline_ms=deadline_ms,
+                    default_max_nodes=max_nodes,
+                )
 
     def info(self) -> Dict[str, Any]:
         now = time.monotonic()
@@ -134,6 +218,7 @@ class SessionManager:
         strategy: str = "indexed",
         max_sessions: int = 64,
         idle_ttl_s: Optional[float] = None,
+        state_dir: Optional[str] = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
@@ -143,8 +228,24 @@ class SessionManager:
         self._lock = threading.RLock()
         self._bases: Dict[str, BaseInfo] = {}
         self._sessions: "OrderedDict[str, Session]" = OrderedDict()
-        self._ids = itertools.count(1)
         self.evictions = 0
+        #: Durability: with a state dir, evicted/expired sessions are
+        #: *passivated* (checkpointed to disk, restored on next touch)
+        #: instead of destroyed, and the session table survives restarts.
+        self.store = CheckpointStore(state_dir) if state_dir is not None else None
+        self.passivations = 0
+        self.checkpoints = 0
+        self.restores = 0
+        self.checkpoint_failures = 0
+        self.restore_failures = 0
+        # Resume id allocation past any checkpointed ids so a restarted
+        # server never mints an id that collides with a passivated session.
+        next_id = 1
+        if self.store is not None:
+            for sid in self.store.ids():
+                if sid.startswith("s") and sid[1:].isdigit():
+                    next_id = max(next_id, int(sid[1:]) + 1)
+        self._ids = itertools.count(next_id)
 
     # -- bases ----------------------------------------------------------------
 
@@ -256,45 +357,170 @@ class SessionManager:
                 raise CapacityError(
                     f"all {self.max_sessions} sessions are busy; try again later"
                 )
-            del self._sessions[victim.id]
-            self.evictions += 1
+            if not self._retire(victim):
+                continue  # the victim turned busy under us; rescan
         self._sessions[session.id] = session
+
+    def _retire(self, victim: Session) -> bool:
+        """Drop a session from the live table, passivating it first.
+
+        With a store, the victim is checkpointed under its own mutex (taken
+        non-blocking: a session that turned busy since the eviction scan is
+        immune — return False so the caller rescans).  A checkpoint failure
+        raises :class:`CheckpointError` and keeps the victim live: durable
+        eviction must never silently destroy state it could not save.
+        """
+        if self.store is not None:
+            if not victim.lock.acquire(blocking=False):
+                return False
+            try:
+                self.store.save(victim)
+            except Exception as error:
+                self.checkpoint_failures += 1
+                raise CheckpointError(
+                    f"cannot passivate session {victim.id!r}: {error}"
+                ) from error
+            finally:
+                victim.lock.release()
+            self.checkpoints += 1
+            self.passivations += 1
+        del self._sessions[victim.id]
+        self.evictions += 1
+        return True
 
     def _sweep_idle(self) -> None:
         if self.idle_ttl_s is None:
             return
         now = time.monotonic()
         expired = [
-            s.id
+            s
             for s in self._sessions.values()
             if not s.lock.locked() and now - s.last_used > self.idle_ttl_s
         ]
-        for session_id in expired:
-            del self._sessions[session_id]
-            self.evictions += 1
+        for session in expired:
+            try:
+                self._retire(session)
+            except CheckpointError:
+                pass  # unsavable: keep it live rather than destroy it
 
     def get(self, session_id: str) -> Session:
-        """Look up a session and mark it most-recently-used."""
+        """Look up a session and mark it most-recently-used.
+
+        A session that was passivated (evicted/expired into the store, or
+        checkpointed by a previous server process) is transparently
+        restored from its checkpoint — callers cannot tell the difference.
+        """
         with self._lock:
             session = self._sessions.get(session_id)
             if session is None:
-                raise UnknownSessionError(f"no session {session_id!r} (evicted or never created)")
+                session = self._restore(session_id)
+            if session is None:
+                raise UnknownSessionError(
+                    f"no session {session_id!r} (evicted or never created)"
+                )
             self._sessions.move_to_end(session_id)
             session.last_used = time.monotonic()
             return session
 
-    def remove_session(self, session_id: str) -> None:
+    def _restore(self, session_id: str) -> Optional[Session]:
+        """Re-activate a passivated session from the store; None if absent."""
+        if self.store is None or not self.store.contains(session_id):
+            return None
+        try:
+            evaluator, meta = self.store.load(session_id, strategy=self.strategy)
+        except CheckpointError:
+            self.restore_failures += 1
+            raise
+        base = meta.get("base")
+        session = Session(
+            session_id, base if isinstance(base, str) else None, evaluator
+        )
+        batches = meta.get("batches")
+        if isinstance(batches, int):
+            session.batches = batches
+        self._admit(session)
+        self.restores += 1
+        return session
+
+    def checkpoint_session(self, session_id: str) -> Dict[str, Any]:
+        """Checkpoint one session to the store now (it stays live)."""
+        if self.store is None:
+            raise CheckpointError(
+                "no state dir configured; start the manager with state_dir= "
+                "(repro-serve --state-dir) to enable checkpoints"
+            )
+        session = self.get(session_id)
+        with session.lock:
+            try:
+                document = self.store.save(session)
+            except Exception as error:
+                self.checkpoint_failures += 1
+                raise CheckpointError(
+                    f"cannot checkpoint session {session_id!r}: {error}"
+                ) from error
+            self.checkpoints += 1
+        return {
+            "id": session_id,
+            "path": self.store.path(session_id),
+            "digest": document["digest"],
+        }
+
+    def checkpoint_all(self) -> int:
+        """Checkpoint every live session (graceful shutdown); returns the
+        number written.  Failures are counted, not raised — shutdown must
+        save everything it still can."""
+        if self.store is None:
+            return 0
         with self._lock:
-            if session_id not in self._sessions:
+            sessions = list(self._sessions.values())
+        written = 0
+        for session in sessions:
+            with session.lock:
+                try:
+                    self.store.save(session)
+                except Exception:
+                    self.checkpoint_failures += 1
+                    continue
+                self.checkpoints += 1
+                written += 1
+        return written
+
+    def remove_session(self, session_id: str) -> None:
+        """Delete a session — live, passivated, or both (durably)."""
+        with self._lock:
+            live = self._sessions.pop(session_id, None)
+            stored = (
+                self.store.discard(session_id) if self.store is not None else False
+            )
+            if live is None and not stored:
                 raise UnknownSessionError(f"no session {session_id!r}")
-            del self._sessions[session_id]
+
+    def _passivated_ids(self) -> List[str]:
+        if self.store is None:
+            return []
+        return [sid for sid in self.store.ids() if sid not in self._sessions]
 
     def sessions(self) -> List[Dict[str, Any]]:
         with self._lock:
-            return [session.info() for session in self._sessions.values()]
+            infos = [session.info() for session in self._sessions.values()]
+            infos.extend(
+                {"id": sid, "passivated": True} for sid in self._passivated_ids()
+            )
+            return infos
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
+            durability: Optional[Dict[str, Any]] = None
+            if self.store is not None:
+                durability = {
+                    "state_dir": self.store.root,
+                    "passivated": len(self._passivated_ids()),
+                    "passivations": self.passivations,
+                    "checkpoints": self.checkpoints,
+                    "restores": self.restores,
+                    "checkpoint_failures": self.checkpoint_failures,
+                    "restore_failures": self.restore_failures,
+                }
             return {
                 "sessions": len(self._sessions),
                 "max_sessions": self.max_sessions,
@@ -302,5 +528,6 @@ class SessionManager:
                 "evictions": self.evictions,
                 "strategy": self.strategy,
                 "idle_ttl_s": self.idle_ttl_s,
+                "durability": durability,
                 "compile_cache": CACHE.stats(),
             }

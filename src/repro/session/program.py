@@ -67,6 +67,7 @@ from ..serialize.encode import (
     encode_term,
     encode_value,
 )
+from ..testing.faults import trip
 from .errors import ProgramError
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -78,11 +79,19 @@ Json = Any
 class _Ctx:
     """One program run: the target engine plus the session's global env."""
 
-    __slots__ = ("engine", "env")
+    __slots__ = ("engine", "env", "default_deadline_ms", "default_max_nodes")
 
-    def __init__(self, engine: "EGraph", env: Dict[str, Value]) -> None:
+    def __init__(
+        self,
+        engine: "EGraph",
+        env: Dict[str, Value],
+        default_deadline_ms: Optional[int] = None,
+        default_max_nodes: Optional[int] = None,
+    ) -> None:
         self.engine = engine
         self.env = env
+        self.default_deadline_ms = default_deadline_ms
+        self.default_max_nodes = default_max_nodes
 
 
 def report_json(report: RunReport) -> Dict[str, Json]:
@@ -189,11 +198,17 @@ def _schedule(obj: Json) -> Schedule:
     raise ProgramError(f"unknown schedule head {head!r}")
 
 
-def _budget_kwargs(op: Dict[str, Json]) -> Dict[str, Json]:
+def _budget_kwargs(ctx: _Ctx, op: Dict[str, Json]) -> Dict[str, Json]:
+    """An op's run budgets, falling back to the request-level defaults."""
     deadline_ms = _opt_int(op, "deadline_ms")
+    if deadline_ms is None:
+        deadline_ms = ctx.default_deadline_ms
+    max_nodes = _opt_int(op, "max_nodes")
+    if max_nodes is None:
+        max_nodes = ctx.default_max_nodes
     return {
         "deadline_s": deadline_ms / 1000.0 if deadline_ms is not None else None,
-        "max_nodes": _opt_int(op, "max_nodes"),
+        "max_nodes": max_nodes,
     }
 
 
@@ -285,7 +300,7 @@ def _op_run(ctx: _Ctx, op: Dict[str, Json]) -> Json:
     report = ctx.engine.run(
         limit if limit is not None else 1,
         ruleset=_str(op, "ruleset", ""),
-        **_budget_kwargs(op),
+        **_budget_kwargs(ctx, op),
     )
     return {"report": report_json(report)}
 
@@ -295,7 +310,7 @@ def _op_run_schedule(ctx: _Ctx, op: Dict[str, Json]) -> Json:
     if not isinstance(schedules, list) or not schedules:
         raise ProgramError("field 'schedules' must be a non-empty list")
     report = ctx.engine.run_schedule(
-        *(_schedule(s) for s in schedules), **_budget_kwargs(op)
+        *(_schedule(s) for s in schedules), **_budget_kwargs(ctx, op)
     )
     return {"report": report_json(report)}
 
@@ -358,19 +373,30 @@ _OPS: Dict[str, Callable[[_Ctx, Dict[str, Json]], Json]] = {
 
 
 def run_ops(
-    engine: "EGraph", ops: Json, env: Optional[Dict[str, Value]] = None
+    engine: "EGraph",
+    ops: Json,
+    env: Optional[Dict[str, Value]] = None,
+    *,
+    default_deadline_ms: Optional[int] = None,
+    default_max_nodes: Optional[int] = None,
 ) -> List[Json]:
     """Run a JSON program against ``engine``; one result object per op.
 
     ``env`` is the session's global ``let`` environment — shared with the
-    ``.egg`` surface, mutated in place by ``let`` ops.  Raises
-    :class:`ProgramError` on the first malformed or failing op, naming its
-    index; earlier ops' effects stay applied (programs are batches, not
-    transactions — fork a session to get isolation).
+    ``.egg`` surface, mutated in place by ``let`` ops.
+    ``default_deadline_ms``/``default_max_nodes`` are request-level budgets
+    applied to ``run``/``run-schedule`` ops that carry none of their own.
+    Raises :class:`ProgramError` on the first malformed or failing op,
+    naming its index.  This function applies ops as it goes; the session
+    layer's transactional batches (:meth:`Session.run_program`) roll a
+    failed program back to its pre-batch state — call ``run_ops`` directly
+    only when partial application is acceptable.
     """
     if not isinstance(ops, list):
         raise ProgramError(f"a program must be a JSON array of ops, got {ops!r}")
-    ctx = _Ctx(engine, env if env is not None else {})
+    ctx = _Ctx(
+        engine, env if env is not None else {}, default_deadline_ms, default_max_nodes
+    )
     results: List[Json] = []
     for index, op in enumerate(ops):
         if not isinstance(op, dict):
@@ -380,6 +406,9 @@ def run_ops(
         if handler is None:
             known = ", ".join(sorted(_OPS))
             raise ProgramError(f"op {index}: unknown op {kind!r} (known: {known})")
+        # Fault-injection point for the durability tests: an exception
+        # "between ops" must behave exactly like a failing op.
+        trip("batch.op", tag=index)
         try:
             results.append(handler(ctx, op))
         except ProgramError as error:

@@ -1,0 +1,12 @@
+"""Test-support utilities shipped with the package.
+
+Only :mod:`repro.testing.faults` lives here today: named fault-injection
+points the durability tests (and operators doing game-day drills) use to
+make checkpoints, batches, and snapshot writes fail on demand.  Importing
+this package costs nothing at runtime — injection sites are no-ops while
+no fault is armed.
+"""
+
+from .faults import FAULTS, FaultPlan, InjectedFault, trip
+
+__all__ = ["FAULTS", "FaultPlan", "InjectedFault", "trip"]

@@ -1,0 +1,156 @@
+"""Named fault-injection points for durability testing.
+
+The crash-safety claims this repo makes — a failed batch rolls the session
+back byte-identically, a crashed checkpoint never corrupts the on-disk
+snapshot — are only worth anything if the failure paths actually run.
+This module plants named **injection points** on those paths; each is a
+:func:`trip` call that does nothing until a test (or an operator doing a
+game-day drill) **arms** it.
+
+Registered injection points:
+
+============================  =====================================================
+point                         where it fires
+============================  =====================================================
+``snapshot.write``            mid temp-file write in ``write_snapshot`` (after a
+                              partial prefix of the document is on disk)
+``snapshot.rename``           after the temp file is written and fsynced, before
+                              the atomic ``os.replace`` onto the destination
+``batch.op``                  before op *k* of a JSON session program
+                              (``tag`` is the op index)
+``egg.command``               before command *k* of an ``.egg`` program
+                              (``tag`` is the command index)
+``checkpoint``                entry of a checkpoint-store save
+                              (``tag`` is the session id)
+``restore``                   entry of a checkpoint-store load
+                              (``tag`` is the session id)
+============================  =====================================================
+
+Arming is programmatic (:meth:`FaultPlan.arm`) or via the ``REPRO_FAULTS``
+environment variable, read once at import::
+
+    REPRO_FAULTS="snapshot.rename:1:exit"   repro-serve ...   # crash once
+    REPRO_FAULTS="batch.op:2,checkpoint:1"  pytest ...        # raise faults
+
+Each spec is ``point[:times[:action]]`` — *times* defaults to 1, *action*
+is ``raise`` (an :class:`InjectedFault`) or ``exit`` (``os._exit(70)``,
+simulating a hard crash with no cleanup, not even ``finally`` blocks).
+The fast path is one falsy check on an empty dict, so production traffic
+pays nothing for the hooks.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Optional
+
+#: Process exit status used by ``action="exit"`` faults (EX_SOFTWARE).
+CRASH_EXIT_CODE = 70
+
+
+class InjectedFault(Exception):
+    """The failure a tripped ``raise`` fault throws at its injection point."""
+
+    def __init__(self, point: str, tag: object = None) -> None:
+        at = f" (tag {tag!r})" if tag is not None else ""
+        super().__init__(f"injected fault at {point!r}{at}")
+        self.point = point
+        self.tag = tag
+
+
+class _Armed:
+    __slots__ = ("remaining", "action", "tag")
+
+    def __init__(self, remaining: int, action: str, tag: object) -> None:
+        self.remaining = remaining
+        self.action = action
+        self.tag = tag
+
+
+class FaultPlan:
+    """A thread-safe registry of armed faults, keyed by injection point."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._armed: Dict[str, _Armed] = {}
+
+    def arm(
+        self,
+        point: str,
+        *,
+        times: int = 1,
+        action: str = "raise",
+        tag: object = None,
+    ) -> None:
+        """Make the next ``times`` trips of ``point`` fail.
+
+        ``action`` is ``"raise"`` (throw :class:`InjectedFault`) or
+        ``"exit"`` (hard process exit — simulates a crash).  A non-``None``
+        ``tag`` restricts the fault to trips carrying that tag (e.g. one
+        specific op index or session id); untagged arming matches every
+        trip of the point.
+        """
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        if action not in ("raise", "exit"):
+            raise ValueError(f"unknown fault action {action!r} (raise|exit)")
+        with self._lock:
+            self._armed[point] = _Armed(times, action, tag)
+
+    def reset(self) -> None:
+        """Disarm everything (test teardown)."""
+        with self._lock:
+            self._armed.clear()
+
+    def armed(self) -> Dict[str, int]:
+        """Remaining trip counts per armed point (introspection/tests)."""
+        with self._lock:
+            return {point: fault.remaining for point, fault in self._armed.items()}
+
+    def trip(self, point: str, tag: object = None) -> None:
+        """Fire ``point``; fails iff a matching fault is armed.
+
+        The no-fault fast path is a single truthiness check — injection
+        sites are free in production.
+        """
+        if not self._armed:
+            return
+        with self._lock:
+            fault = self._armed.get(point)
+            if fault is None or (fault.tag is not None and fault.tag != tag):
+                return
+            fault.remaining -= 1
+            if fault.remaining <= 0:
+                del self._armed[point]
+            action = fault.action
+        if action == "exit":
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedFault(point, tag)
+
+    def load_spec(self, spec: str) -> None:
+        """Arm faults from a ``point[:times[:action]],...`` spec string."""
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            fields = part.split(":")
+            if len(fields) > 3 or not fields[0]:
+                raise ValueError(f"malformed fault spec {part!r}")
+            times = int(fields[1]) if len(fields) > 1 and fields[1] else 1
+            action = fields[2] if len(fields) > 2 else "raise"
+            self.arm(fields[0], times=times, action=action)
+
+
+#: The process-wide plan every injection site consults.
+FAULTS = FaultPlan()
+
+
+def trip(point: str, tag: object = None) -> None:
+    """Module-level shorthand for ``FAULTS.trip`` (the injection-site call)."""
+    FAULTS.trip(point, tag)
+
+
+_env_spec = os.environ.get("REPRO_FAULTS", "")
+if _env_spec:
+    FAULTS.load_spec(_env_spec)

@@ -161,10 +161,10 @@ def test_budgeted_run_reports_partial_over_program_surface():
 class LiveServer:
     """An asyncio server on an ephemeral port, event loop in a daemon thread."""
 
-    def __init__(self, **manager_kwargs):
+    def __init__(self, app_kwargs=None, serve_kwargs=None, **manager_kwargs):
         import asyncio
 
-        self.app = App(SessionManager(**manager_kwargs))
+        self.app = App(SessionManager(**manager_kwargs), **(app_kwargs or {}))
         self.loop = asyncio.new_event_loop()
         started = threading.Event()
         holder = {}
@@ -172,7 +172,7 @@ class LiveServer:
         def runner():
             asyncio.set_event_loop(self.loop)
             server = self.loop.run_until_complete(
-                serve(self.app.handle, "127.0.0.1", 0)
+                serve(self.app.handle, "127.0.0.1", 0, **(serve_kwargs or {}))
             )
             holder["port"] = server.sockets[0].getsockname()[1]
             started.set()
@@ -181,6 +181,15 @@ class LiveServer:
             finally:
                 server.close()
                 self.loop.run_until_complete(server.wait_closed())
+                # Unwind lingering connection handlers before closing the
+                # loop so their finally blocks can still touch it.
+                tasks = asyncio.all_tasks(self.loop)
+                for task in tasks:
+                    task.cancel()
+                if tasks:
+                    self.loop.run_until_complete(
+                        asyncio.gather(*tasks, return_exceptions=True)
+                    )
                 self.loop.close()
 
         self.thread = threading.Thread(target=runner, daemon=True)
@@ -193,12 +202,16 @@ class LiveServer:
         self.thread.join(5)
 
     def request(self, method, path, body=None):
+        status, payload, _headers = self.request_full(method, path, body)
+        return status, payload
+
+    def request_full(self, method, path, body=None):
         conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=10)
         try:
             payload = json.dumps(body) if body is not None else None
             conn.request(method, path, body=payload)
             response = conn.getresponse()
-            return response.status, json.loads(response.read())
+            return response.status, json.loads(response.read()), dict(response.getheaders())
         finally:
             conn.close()
 
@@ -367,3 +380,278 @@ def test_concurrent_http_clients_stay_isolated(server):
     assert not errors, f"client failures: {errors}"
     # Even clients ran to closure (fact present), odd clients never ran.
     assert results == [i % 2 == 0 for i in range(n_clients)]
+
+
+# ---------------------------------------------------------------------------
+# Durability: passivation, restore, checkpoints, transactional batches
+# ---------------------------------------------------------------------------
+
+
+def _engine_bytes(session):
+    """The session's engine as canonical snapshot text (byte-identity probe)."""
+    from repro.serialize.snapshot import dumps_document, engine_document
+
+    return dumps_document(engine_document(session.engine))
+
+
+def test_eviction_passivates_and_touch_restores(tmp_path):
+    mgr = SessionManager(max_sessions=1, state_dir=str(tmp_path))
+    mgr.add_base_from_program("tc", TC_PROGRAM)
+    a = mgr.create_session("tc")
+    a.run_egg("(run 10)")
+    before = _engine_bytes(a)
+    globals_before = dict(a.evaluator.globals)
+    aid = a.id
+
+    b = mgr.create_session("tc")  # evicts a -> checkpoint, not data loss
+    assert mgr.store.contains(aid)
+    assert aid in mgr._passivated_ids()
+
+    restored = mgr.get(aid)  # transparent restore on next touch
+    assert restored is not a  # a fresh object, same durable state
+    assert restored.id == aid and restored.base == "tc"
+    assert _engine_bytes(restored) == before
+    assert set(restored.evaluator.globals) == set(globals_before)
+    assert restored.run_program([CHECK_1_5])[0]["ok"] is True
+    stats = mgr.stats()["durability"]
+    assert stats["restores"] == 1 and stats["checkpoints"] >= 1
+    assert mgr.get(b.id) is b or mgr.get(b.id).id == b.id
+
+
+def test_idle_ttl_passivates_with_store(tmp_path):
+    mgr = SessionManager(idle_ttl_s=0.05, state_dir=str(tmp_path))
+    mgr.add_base_from_program("tc", TC_PROGRAM)
+    old = mgr.create_session("tc")
+    old.run_egg("(run 10)")
+    oid = old.id
+    time.sleep(0.08)
+    mgr.create_session("tc")  # admission sweeps the expired session
+    assert mgr.store.contains(oid)
+    assert mgr.get(oid).run_program([CHECK_1_5])[0]["ok"] is True
+
+
+def test_manager_restart_rediscovers_checkpoints(tmp_path):
+    first = SessionManager(state_dir=str(tmp_path))
+    s = first.create_session()
+    s.run_egg("(datatype M (N i64) (Plus M M))\n(let e (Plus (N 1) (N 2)))")
+    sid = s.id
+    first.checkpoint_all()
+
+    second = SessionManager(state_dir=str(tmp_path))
+    listed = {info["id"] for info in second.sessions()}
+    assert sid in listed
+    restored = second.get(sid)
+    assert restored.run_egg("(extract e)") == ["extract: (Plus (N 1) (N 2)) (cost 3)"]
+    # Fresh ids must not collide with restored ones.
+    fresh = second.create_session()
+    assert fresh.id != sid
+
+
+def test_remove_session_also_discards_checkpoint(tmp_path):
+    mgr = SessionManager(state_dir=str(tmp_path))
+    s = mgr.create_session()
+    mgr.checkpoint_session(s.id)
+    assert mgr.store.contains(s.id)
+    mgr.remove_session(s.id)
+    assert not mgr.store.contains(s.id)
+    with pytest.raises(UnknownSessionError):
+        mgr.get(s.id)
+
+
+def test_failed_batch_rolls_back_engine_and_globals():
+    mgr = SessionManager()
+    s = mgr.create_session()
+    s.run_egg("(datatype M (N i64) (Plus M M))\n(let e (Plus (N 1) (N 2)))")
+    before = _engine_bytes(s)
+    with pytest.raises(ProgramError):
+        s.run_egg("(let f (N 7))\n(no-such-command)")
+    assert _engine_bytes(s) == before
+    assert "f" not in s.evaluator.globals
+    with pytest.raises(ProgramError):
+        s.run_program([{"op": "run", "limit": 1}, {"op": "nope"}])
+    assert _engine_bytes(s) == before
+
+
+def test_non_atomic_batch_keeps_partial_state():
+    mgr = SessionManager()
+    s = mgr.create_session()
+    s.run_egg("(datatype M (N i64))")
+    with pytest.raises(ProgramError):
+        s.run_egg("(let f (N 7))\n(no-such-command)", atomic=False)
+    assert "f" in s.evaluator.globals
+
+
+def test_rollback_preserves_client_push_pop_pairing():
+    mgr = SessionManager()
+    s = mgr.create_session()
+    s.run_egg("(datatype M (N i64))\n(let x (N 1))")
+    s.run_egg("(push)")
+    s.run_egg("(let y (N 2))")
+    with pytest.raises(ProgramError):
+        s.run_egg("(push)\n(let z (N 3))\n(no-such-command)")  # rolled back
+    # The failed batch's (push) vanished with the rollback: one (pop)
+    # returns to the client's own push point.
+    s.run_egg("(pop)")
+    assert "x" in s.evaluator.globals
+    assert "y" not in s.evaluator.globals and "z" not in s.evaluator.globals
+    with pytest.raises(ProgramError):
+        s.run_egg("(pop)")  # nothing left to pop
+
+
+def test_http_checkpoint_endpoint_and_passivated_listing(tmp_path):
+    live = LiveServer(max_sessions=1, state_dir=str(tmp_path))
+    try:
+        live.request("POST", "/bases", {"name": "tc", "program": TC_PROGRAM})
+        _, body = live.request("POST", "/sessions", {"base": "tc"})
+        sid = body["session"]["id"]
+        live.request("POST", f"/sessions/{sid}/egg", {"program": "(run 10)"})
+
+        status, body = live.request("POST", f"/sessions/{sid}/checkpoint")
+        assert status == 200 and body["checkpoint"]["id"] == sid
+        assert body["checkpoint"]["digest"]
+
+        _, body = live.request("POST", "/sessions", {"base": "tc"})  # evicts sid
+        _, body = live.request("GET", "/sessions")
+        flags = {s["id"]: s.get("passivated", False) for s in body["sessions"]}
+        assert flags[sid] is True
+
+        status, body = live.request("POST", f"/sessions/{sid}/program", {"ops": [CHECK_1_5]})
+        assert status == 200 and body["results"][0]["ok"] is True
+
+        _, body = live.request("GET", "/stats")
+        durability = body["stats"]["durability"]
+        assert durability["restores"] == 1 and durability["checkpoints"] >= 2
+        assert body["stats"]["server"]["pending"] == 1  # this very request
+    finally:
+        live.stop()
+
+
+def test_http_atomic_flag_and_deadline_validation(tmp_path):
+    live = LiveServer()
+    try:
+        _, body = live.request("POST", "/sessions", {})
+        sid = body["session"]["id"]
+        live.request(
+            "POST", f"/sessions/{sid}/egg", {"program": "(datatype M (N i64))"}
+        )
+        status, body = live.request(
+            "POST",
+            f"/sessions/{sid}/egg",
+            {"program": "(let f (N 7))\n(no-such-command)", "atomic": False},
+        )
+        assert status == 422
+        status, body = live.request(
+            "POST", f"/sessions/{sid}/egg", {"program": "(extract f)"}
+        )
+        assert status == 200  # partial state survived the non-atomic batch
+        status, body = live.request(
+            "POST", f"/sessions/{sid}/egg", {"program": "(run 1)", "atomic": "yes"}
+        )
+        assert status == 400
+        status, body = live.request(
+            "POST", f"/sessions/{sid}/egg", {"program": "(run 1)", "deadline_ms": -5}
+        )
+        assert status == 400
+    finally:
+        live.stop()
+
+
+def test_http_server_default_deadline_applies():
+    live = LiveServer(app_kwargs={"deadline_ms": 1})
+    try:
+        live.request("POST", "/bases", {"name": "tc", "program": TC_PROGRAM})
+        _, body = live.request("POST", "/sessions", {"base": "tc"})
+        sid = body["session"]["id"]
+        status, body = live.request(
+            "POST", f"/sessions/{sid}/egg", {"program": "(run 100000)"}
+        )
+        # The app-wide 1ms deadline bounds the run even though the request
+        # itself set no budget.
+        assert status == 200
+    finally:
+        live.stop()
+
+
+# ---------------------------------------------------------------------------
+# Overload and drain: 503 + Retry-After
+# ---------------------------------------------------------------------------
+
+
+def test_capacity_503_carries_retry_after():
+    live = LiveServer(max_sessions=1)
+    try:
+        live.request("POST", "/bases", {"name": "tc", "program": TC_PROGRAM})
+        _, body = live.request("POST", "/sessions", {"base": "tc"})
+        sid = body["session"]["id"]
+        session = live.app.manager.get(sid)
+        with session.lock:  # the only session is busy: nothing evictable
+            status, body, headers = live.request_full("POST", "/sessions", {"base": "tc"})
+        assert status == 503 and not body["ok"]
+        assert headers.get("Retry-After") == "1"
+    finally:
+        live.stop()
+
+
+def test_overloaded_server_refuses_with_503():
+    live = LiveServer(app_kwargs={"max_pending": 0})
+    try:
+        status, body, headers = live.request_full("GET", "/healthz")
+        assert status == 503 and "in flight" in body["error"]
+        assert headers.get("Retry-After") == "1"
+        assert live.app.rejected == 1
+    finally:
+        live.stop()
+
+
+def test_draining_server_refuses_with_503():
+    live = LiveServer()
+    try:
+        live.app.draining = True
+        status, body, headers = live.request_full("GET", "/healthz")
+        assert status == 503 and "draining" in body["error"]
+        assert headers.get("Retry-After") == "1"
+    finally:
+        live.stop()
+
+
+# ---------------------------------------------------------------------------
+# HTTP timeouts over a raw socket
+# ---------------------------------------------------------------------------
+
+
+def test_idle_connection_times_out_silently():
+    import socket
+
+    live = LiveServer(serve_kwargs={"idle_timeout_s": 0.2})
+    try:
+        with socket.create_connection(("127.0.0.1", live.port), timeout=5) as sock:
+            sock.settimeout(5)
+            # Send nothing: the server closes the idle connection without
+            # writing a response.
+            assert sock.recv(1024) == b""
+    finally:
+        live.stop()
+
+
+def test_stalled_request_answers_408():
+    import socket
+
+    live = LiveServer(serve_kwargs={"read_timeout_s": 0.2})
+    try:
+        with socket.create_connection(("127.0.0.1", live.port), timeout=5) as sock:
+            sock.settimeout(5)
+            # Request line arrives, then the client stalls mid-headers.
+            sock.sendall(b"POST /sessions HTTP/1.1\r\nContent-Length: 10\r\n")
+            data = sock.recv(4096)
+        assert b"408" in data.split(b"\r\n", 1)[0]
+    finally:
+        live.stop()
+
+
+def test_complete_requests_unaffected_by_timeouts():
+    live = LiveServer(serve_kwargs={"idle_timeout_s": 5.0, "read_timeout_s": 5.0})
+    try:
+        status, body = live.request("GET", "/healthz")
+        assert status == 200 and body["ok"]
+    finally:
+        live.stop()
