@@ -329,15 +329,21 @@ class Table:
     def restore(self, state: tuple) -> None:
         """Reinstall a state captured by :meth:`snapshot`.
 
+        Copies defensively, like ``UnionFind.restore``: installing the
+        snapshot's own containers by reference would let post-restore
+        writes mutate the captured tuple, corrupting a second restore of
+        the same snapshot (e.g. a push-stack entry pinned across an
+        aborted transactional batch).
+
         Hash indexes describe the abandoned state and are dropped (rebuilt
         on demand).  Registered tries survive — their orderings are the
         compiled rules' access plans — but are marked stale so the next
         access reconstructs them from the restored rows.
         """
         data, log_ts, log_keys, log_sorted = state
-        self.data = data
-        self._log_ts = log_ts
-        self._log_keys = log_keys
+        self.data = dict(data)
+        self._log_ts = list(log_ts)
+        self._log_keys = list(log_keys)
         self._log_sorted = log_sorted
         self._pending.clear()
         self._indexes.clear()

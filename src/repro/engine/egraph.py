@@ -720,10 +720,17 @@ class EGraph:
     def restore_state(self, snap: dict) -> None:
         """Reinstall a :meth:`snapshot_state` capture, discarding all changes
         made since.  E-class ids allocated after the capture become invalid.
+
+        The capture survives the restore intact: every container is
+        installed as a defensive copy (mirroring ``UnionFind.restore`` and
+        ``Table.restore``), so mutations made after one restore can never
+        leak into a second restore of the same snapshot — a pinned
+        transaction snapshot or push-stack entry stays pristine even when
+        a ``pop`` runs inside an aborted batch.
         """
         self.uf.restore(snap["uf"])
-        self.sorts = snap["sorts"]
-        self.decls = snap["decls"]
+        self.sorts = dict(snap["sorts"])
+        self.decls = dict(snap["decls"])
         # Tables declared after the capture are dropped; surviving Table
         # objects are restored in place (rules hold no table refs, but
         # this keeps any external handles coherent).  A table present at
@@ -737,10 +744,10 @@ class EGraph:
             if table is None:
                 table = self.tables[name] = Table(self.decls[name])
             table.restore(state)
-        self.rules = snap["rules"]
+        self.rules = dict(snap["rules"])
         for name, last_run in snap["watermarks"].items():
             self.rules[name].last_run = last_run
-        self.rulesets = snap["rulesets"]
+        self.rulesets = {name: list(rules) for name, rules in snap["rulesets"].items()}
         self.timestamp = snap["timestamp"]
         self._updates = snap["updates"]
         if self._proof_log is not None and snap["proof_log"] is not None:

@@ -14,6 +14,21 @@ Concurrency model: the manager takes one re-entrant lock for table surgery
 duration of a batch.  A session whose mutex is held is *busy* and immune to
 eviction; capacity pressure evicts the least-recently-used idle session
 instead, or fails with :class:`CapacityError` when every session is busy.
+
+Two rules keep the two lock kinds honest:
+
+* **Disk I/O never runs under the manager lock.**  Checkpoint saves and
+  restores happen under the affected session's own mutex with the manager
+  lock released, so one slow passivation or re-hydration cannot stall every
+  other request's session lookup.  (The manager lock is only ever taken
+  *inside* a held session mutex via non-blocking attempts or short
+  bookkeeping sections, so the ordering cannot deadlock.)
+* **Retirement is published under the session mutex.**  :meth:`~SessionManager._retire`
+  checkpoints a victim and marks it ``retired`` while holding its mutex;
+  batch entry points re-check that flag after acquiring the mutex
+  (:meth:`Session._acquire_live`) and chase the live incarnation through
+  ``manager.get`` — so a session passivated between lookup and lock
+  acquisition transparently restores instead of swallowing the batch.
 """
 
 from __future__ import annotations
@@ -95,10 +110,38 @@ class Session:
         self.created_at = time.monotonic()
         self.last_used = self.created_at
         self.batches = 0
+        #: Set by :meth:`SessionManager._admit`; ``None`` for unmanaged use.
+        self.manager: Optional["SessionManager"] = None
+        #: Written only under :attr:`lock` by :meth:`SessionManager._retire`.
+        #: Once True this object is an orphan: its durable state lives in
+        #: the checkpoint store and the live incarnation (if any) is a
+        #: different object under the same id.
+        self.retired = False
 
     def touch(self) -> None:
         self.last_used = time.monotonic()
         self.batches += 1
+
+    def _acquire_live(self) -> "Session":
+        """Acquire the mutex of the *live* incarnation of this session.
+
+        Closes the lookup-to-lock race with passivation: a session that was
+        retired (checkpointed and dropped from the table) between
+        ``manager.get`` and this acquisition is re-fetched through the
+        manager — transparently restoring it from its checkpoint — instead
+        of silently running the batch on an orphan whose effects the next
+        restore would discard.  Returns the session whose lock the caller
+        now holds (and must release); without a store, a retirement lost
+        race surfaces as the manager's :class:`UnknownSessionError`.
+        """
+        session = self
+        while True:
+            session.lock.acquire()
+            if not session.retired or session.manager is None:
+                return session
+            manager = session.manager
+            session.lock.release()
+            session = manager.get(session.id)
 
     @contextmanager
     def _transaction(self, atomic: bool) -> Iterator[None]:
@@ -122,8 +165,10 @@ class Session:
             return
         engine = self.engine
         state = engine.snapshot_state()
-        # Entries are immutable once captured, so a shallow list copy
-        # pins the pre-batch push/pop stack.
+        # A shallow list copy pins the pre-batch push/pop stack: entries
+        # stay pristine even if the batch pops them, because
+        # ``restore_state`` installs defensive copies rather than the
+        # snapshot's own containers.
         stack = list(engine._snapshots)
         frontend = self.evaluator.session_snapshot()
         try:
@@ -161,15 +206,20 @@ class Session:
         With ``atomic`` (the default) a failing command rolls the session
         back to its pre-batch state; ``deadline_ms``/``max_nodes`` are
         default budgets for ``run``/``run-schedule`` commands that carry
-        none of their own.
+        none of their own.  The batch runs on the live incarnation of the
+        session (see :meth:`_acquire_live`), which may be a restored copy
+        if this object was passivated since lookup.
         """
-        with self.lock:
-            self.touch()
-            with self._transaction(atomic), self._budgets(deadline_ms, max_nodes):
+        session = self._acquire_live()
+        try:
+            session.touch()
+            with session._transaction(atomic), session._budgets(deadline_ms, max_nodes):
                 try:
-                    return self.evaluator.run_program(text, f"<session {self.id}>")
+                    return session.evaluator.run_program(text, f"<session {session.id}>")
                 except FrontendError as error:
                     raise ProgramError(str(error)) from error
+        finally:
+            session.lock.release()
 
     def run_program(
         self,
@@ -185,16 +235,19 @@ class Session:
         program failing at op *k* leaves the session byte-identical to its
         pre-batch state instead of keeping ops ``1..k-1`` applied.
         """
-        with self.lock:
-            self.touch()
-            with self._transaction(atomic):
+        session = self._acquire_live()
+        try:
+            session.touch()
+            with session._transaction(atomic):
                 return run_ops(
-                    self.engine,
+                    session.engine,
                     ops,
-                    self.evaluator.globals,
+                    session.evaluator.globals,
                     default_deadline_ms=deadline_ms,
                     default_max_nodes=max_nodes,
                 )
+        finally:
+            session.lock.release()
 
     def info(self) -> Dict[str, Any]:
         now = time.monotonic()
@@ -233,6 +286,12 @@ class SessionManager:
         #: *passivated* (checkpointed to disk, restored on next touch)
         #: instead of destroyed, and the session table survives restarts.
         self.store = CheckpointStore(state_dir) if state_dir is not None else None
+        #: Single-flight guard for checkpoint restores: ids currently being
+        #: re-hydrated (disk I/O runs with ``_lock`` released, so without
+        #: this two threads could restore the same session into two
+        #: objects, orphaning one thread's batches).
+        self._restoring: set = set()
+        self._restored = threading.Condition(self._lock)
         self.passivations = 0
         self.checkpoints = 0
         self.restores = 0
@@ -322,19 +381,21 @@ class SessionManager:
                 info.forks += 1
             else:
                 session = Session(self._next_id(), None, Evaluator(strategy=self.strategy))
-            self._admit(session)
-            return session
+        self._admit(session)
+        return session
 
     def fork_session(self, session_id: str) -> Session:
         """Clone a live session: structural engine fork plus its globals."""
-        parent = self.get(session_id)
-        with parent.lock:
+        parent = self.get(session_id)._acquire_live()
+        try:
             engine = parent.engine.fork()
             globals_values = parent.evaluator.globals
+        finally:
+            parent.lock.release()
         with self._lock:
             session = self._new_session(parent.base, engine, globals_values)
-            self._admit(session)
-            return session
+        self._admit(session)
+        return session
 
     def _new_session(
         self, base: Optional[str], engine: EGraph, globals_values: Dict[str, Value]
@@ -347,56 +408,82 @@ class SessionManager:
         return f"s{next(self._ids)}"
 
     def _admit(self, session: Session) -> None:
-        """Insert under the capacity cap, evicting idle LRU sessions first."""
+        """Insert under the capacity cap, evicting idle LRU sessions first.
+
+        Must be called *without* the manager lock held: capacity pressure
+        may passivate a victim, and that disk write runs under the victim's
+        own mutex with the table lock released so unrelated lookups never
+        stall behind an fsync.  The capacity check and the insert happen
+        under one lock hold per attempt, so concurrent admissions cannot
+        overshoot the cap.
+        """
         self._sweep_idle()
-        while len(self._sessions) >= self.max_sessions:
-            victim = next(
-                (s for s in self._sessions.values() if not s.lock.locked()), None
-            )
-            if victim is None:
-                raise CapacityError(
-                    f"all {self.max_sessions} sessions are busy; try again later"
+        session.manager = self
+        while True:
+            with self._lock:
+                if len(self._sessions) < self.max_sessions:
+                    self._sessions[session.id] = session
+                    return
+                victim = next(
+                    (s for s in self._sessions.values() if not s.lock.locked()),
+                    None,
                 )
+                if victim is None:
+                    raise CapacityError(
+                        f"all {self.max_sessions} sessions are busy; try again later"
+                    )
             if not self._retire(victim):
                 continue  # the victim turned busy under us; rescan
-        self._sessions[session.id] = session
 
     def _retire(self, victim: Session) -> bool:
-        """Drop a session from the live table, passivating it first.
+        """Passivate a session and drop it from the live table.
 
-        With a store, the victim is checkpointed under its own mutex (taken
+        Called without the manager lock.  The victim's mutex is taken
         non-blocking: a session that turned busy since the eviction scan is
-        immune — return False so the caller rescans).  A checkpoint failure
-        raises :class:`CheckpointError` and keeps the victim live: durable
+        immune — return False so the caller rescans.  With a store the
+        victim is checkpointed first; a checkpoint failure raises
+        :class:`CheckpointError` and keeps the victim live: durable
         eviction must never silently destroy state it could not save.
+        ``retired`` is published under the victim's mutex *after* a
+        successful save, so any batch that subsequently wins the mutex sees
+        the flag and chases the live incarnation (:meth:`Session._acquire_live`).
+        The final table drop checks identity, not just the id — a
+        concurrent restore may already have installed a fresh incarnation.
         """
-        if self.store is not None:
-            if not victim.lock.acquire(blocking=False):
-                return False
-            try:
-                self.store.save(victim)
-            except Exception as error:
-                self.checkpoint_failures += 1
-                raise CheckpointError(
-                    f"cannot passivate session {victim.id!r}: {error}"
-                ) from error
-            finally:
-                victim.lock.release()
-            self.checkpoints += 1
-            self.passivations += 1
-        del self._sessions[victim.id]
-        self.evictions += 1
+        if not victim.lock.acquire(blocking=False):
+            return False
+        try:
+            if self.store is not None:
+                try:
+                    self.store.save(victim)
+                except Exception as error:
+                    with self._lock:
+                        self.checkpoint_failures += 1
+                    raise CheckpointError(
+                        f"cannot passivate session {victim.id!r}: {error}"
+                    ) from error
+            victim.retired = True
+        finally:
+            victim.lock.release()
+        with self._lock:
+            if self._sessions.get(victim.id) is victim:
+                del self._sessions[victim.id]
+            self.evictions += 1
+            if self.store is not None:
+                self.checkpoints += 1
+                self.passivations += 1
         return True
 
     def _sweep_idle(self) -> None:
         if self.idle_ttl_s is None:
             return
         now = time.monotonic()
-        expired = [
-            s
-            for s in self._sessions.values()
-            if not s.lock.locked() and now - s.last_used > self.idle_ttl_s
-        ]
+        with self._lock:
+            expired = [
+                s
+                for s in self._sessions.values()
+                if not s.lock.locked() and now - s.last_used > self.idle_ttl_s
+            ]
         for session in expired:
             try:
                 self._retire(session)
@@ -409,38 +496,73 @@ class SessionManager:
         A session that was passivated (evicted/expired into the store, or
         checkpointed by a previous server process) is transparently
         restored from its checkpoint — callers cannot tell the difference.
+        The restore's disk read and engine rebuild run with the manager
+        lock released, so re-hydrating one large session never stalls
+        lookups of the others.
         """
+        session = self._lookup_live(session_id)
+        if session is None:
+            session = self._restore(session_id)
+        if session is None:
+            raise UnknownSessionError(
+                f"no session {session_id!r} (evicted or never created)"
+            )
+        return session
+
+    def _lookup_live(self, session_id: str) -> Optional[Session]:
+        """Fast path: the session is in the table (and not a retirement
+        orphan awaiting its final drop); touch its LRU slot and return it."""
         with self._lock:
             session = self._sessions.get(session_id)
-            if session is None:
-                session = self._restore(session_id)
-            if session is None:
-                raise UnknownSessionError(
-                    f"no session {session_id!r} (evicted or never created)"
-                )
+            if session is None or session.retired:
+                return None
             self._sessions.move_to_end(session_id)
             session.last_used = time.monotonic()
             return session
 
     def _restore(self, session_id: str) -> Optional[Session]:
-        """Re-activate a passivated session from the store; None if absent."""
-        if self.store is None or not self.store.contains(session_id):
+        """Re-activate a passivated session from the store; None if absent.
+
+        Single-flight per id: concurrent callers for the same session wait
+        on one thread's restore (disk I/O runs without the manager lock)
+        and then pick up the incarnation it admitted, so one session can
+        never be re-hydrated into two rival objects.
+        """
+        if self.store is None:
             return None
+        with self._restored:
+            while session_id in self._restoring:
+                self._restored.wait()
+            session = self._sessions.get(session_id)
+            if session is not None and not session.retired:
+                self._sessions.move_to_end(session_id)
+                session.last_used = time.monotonic()
+                return session
+            if not self.store.contains(session_id):
+                return None
+            self._restoring.add(session_id)
         try:
-            evaluator, meta = self.store.load(session_id, strategy=self.strategy)
-        except CheckpointError:
-            self.restore_failures += 1
-            raise
-        base = meta.get("base")
-        session = Session(
-            session_id, base if isinstance(base, str) else None, evaluator
-        )
-        batches = meta.get("batches")
-        if isinstance(batches, int):
-            session.batches = batches
-        self._admit(session)
-        self.restores += 1
-        return session
+            try:
+                evaluator, meta = self.store.load(session_id, strategy=self.strategy)
+            except CheckpointError:
+                with self._lock:
+                    self.restore_failures += 1
+                raise
+            base = meta.get("base")
+            session = Session(
+                session_id, base if isinstance(base, str) else None, evaluator
+            )
+            batches = meta.get("batches")
+            if isinstance(batches, int):
+                session.batches = batches
+            self._admit(session)
+            with self._lock:
+                self.restores += 1
+            return session
+        finally:
+            with self._restored:
+                self._restoring.discard(session_id)
+                self._restored.notify_all()
 
     def checkpoint_session(self, session_id: str) -> Dict[str, Any]:
         """Checkpoint one session to the store now (it stays live)."""
@@ -449,16 +571,20 @@ class SessionManager:
                 "no state dir configured; start the manager with state_dir= "
                 "(repro-serve --state-dir) to enable checkpoints"
             )
-        session = self.get(session_id)
-        with session.lock:
+        session = self.get(session_id)._acquire_live()
+        try:
             try:
                 document = self.store.save(session)
             except Exception as error:
-                self.checkpoint_failures += 1
+                with self._lock:
+                    self.checkpoint_failures += 1
                 raise CheckpointError(
                     f"cannot checkpoint session {session_id!r}: {error}"
                 ) from error
-            self.checkpoints += 1
+            with self._lock:
+                self.checkpoints += 1
+        finally:
+            session.lock.release()
         return {
             "id": session_id,
             "path": self.store.path(session_id),
@@ -476,12 +602,16 @@ class SessionManager:
         written = 0
         for session in sessions:
             with session.lock:
+                if session.retired:
+                    continue  # already checkpointed on its way out
                 try:
                     self.store.save(session)
                 except Exception:
-                    self.checkpoint_failures += 1
+                    with self._lock:
+                        self.checkpoint_failures += 1
                     continue
-                self.checkpoints += 1
+                with self._lock:
+                    self.checkpoints += 1
                 written += 1
         return written
 

@@ -95,9 +95,12 @@ class CheckpointStore:
         raises :class:`CheckpointError` naming the path — server-side data
         loss, distinct from "no such session".
         """
-        trip("restore", tag=session_id)
         path = self.path(session_id)
         try:
+            # Inside the try so an injected "restore" fault follows the
+            # same path as a real load failure: CheckpointError, counted
+            # by the manager's restore_failures accounting.
+            trip("restore", tag=session_id)
             engine, document = load_engine(path, strategy=strategy)
         except Exception as error:
             raise CheckpointError(

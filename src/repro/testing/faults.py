@@ -27,7 +27,11 @@ point                         where it fires
 ============================  =====================================================
 
 Arming is programmatic (:meth:`FaultPlan.arm`) or via the ``REPRO_FAULTS``
-environment variable, read once at import::
+environment variable, read lazily — once, at the first injection-point
+trip (or :meth:`FaultPlan.armed`/:meth:`FaultPlan.reset` call), never at
+import, so a malformed spec surfaces as one clear ``ValueError`` naming
+the variable instead of a confusing import-time traceback from whichever
+module happened to import this one first::
 
     REPRO_FAULTS="snapshot.rename:1:exit"   repro-serve ...   # crash once
     REPRO_FAULTS="batch.op:2,checkpoint:1"  pytest ...        # raise faults
@@ -71,9 +75,41 @@ class _Armed:
 class FaultPlan:
     """A thread-safe registry of armed faults, keyed by injection point."""
 
-    def __init__(self) -> None:
+    def __init__(self, env_var: Optional[str] = None) -> None:
         self._lock = threading.Lock()
         self._armed: Dict[str, _Armed] = {}
+        #: Environment variable consulted lazily for a fault spec; the
+        #: process-wide plan binds ``REPRO_FAULTS``, bare test plans none.
+        self._env_var = env_var
+        self._env_checked = env_var is None
+        self._env_lock = threading.Lock()
+
+    def _check_env(self) -> None:
+        """Arm faults from the bound env var once, on first use.
+
+        Deliberately lazy (not at import): a malformed spec raises one
+        clear ``ValueError`` naming the variable at the first injection
+        point, instead of breaking every ``import repro.*`` with a
+        traceback that points nowhere near the real mistake.  ``_env_lock``
+        never nests inside ``_lock`` (only the reverse, via
+        :meth:`load_spec`), so the two locks cannot deadlock.
+        """
+        with self._env_lock:
+            if self._env_checked:
+                return
+            try:
+                spec = os.environ.get(self._env_var, "")
+                if spec:
+                    try:
+                        self.load_spec(spec)
+                    except (TypeError, ValueError) as error:
+                        raise ValueError(
+                            f"malformed {self._env_var}={spec!r}: {error}"
+                        ) from None
+            finally:
+                # Checked even on failure: report the bad spec once,
+                # loudly, rather than on every subsequent trip.
+                self._env_checked = True
 
     def arm(
         self,
@@ -99,21 +135,27 @@ class FaultPlan:
             self._armed[point] = _Armed(times, action, tag)
 
     def reset(self) -> None:
-        """Disarm everything (test teardown)."""
+        """Disarm everything (test teardown), env-armed faults included."""
+        with self._env_lock:
+            self._env_checked = True  # a reset plan never re-arms from env
         with self._lock:
             self._armed.clear()
 
     def armed(self) -> Dict[str, int]:
         """Remaining trip counts per armed point (introspection/tests)."""
+        if not self._env_checked:
+            self._check_env()
         with self._lock:
             return {point: fault.remaining for point, fault in self._armed.items()}
 
     def trip(self, point: str, tag: object = None) -> None:
         """Fire ``point``; fails iff a matching fault is armed.
 
-        The no-fault fast path is a single truthiness check — injection
-        sites are free in production.
+        The no-fault fast path is two falsy attribute checks — injection
+        sites are essentially free in production.
         """
+        if not self._env_checked:
+            self._check_env()
         if not self._armed:
             return
         with self._lock:
@@ -142,15 +184,11 @@ class FaultPlan:
             self.arm(fields[0], times=times, action=action)
 
 
-#: The process-wide plan every injection site consults.
-FAULTS = FaultPlan()
+#: The process-wide plan every injection site consults; arms lazily from
+#: ``REPRO_FAULTS`` on first use.
+FAULTS = FaultPlan(env_var="REPRO_FAULTS")
 
 
 def trip(point: str, tag: object = None) -> None:
     """Module-level shorthand for ``FAULTS.trip`` (the injection-site call)."""
     FAULTS.trip(point, tag)
-
-
-_env_spec = os.environ.get("REPRO_FAULTS", "")
-if _env_spec:
-    FAULTS.load_spec(_env_spec)

@@ -359,6 +359,48 @@ def test_push_pop_undoes_unions_and_new_declarations():
     assert "C" not in eg.decls and "C" not in eg.tables
 
 
+def test_snapshot_restore_is_repeatable():
+    # Restoring a snapshot must not hand the engine the snapshot's own
+    # containers: mutations after the first restore would then corrupt the
+    # capture and a second restore of it (e.g. a push-stack entry pinned
+    # across an aborted transactional batch) would resurrect them.
+    eg = EGraph()
+    eg.declare_sort("S")
+    eg.constructor("A", ("i64",), "S")
+    snap = eg.snapshot_state()
+
+    eg.restore_state(snap)
+    eg.add(App("A", 1))
+    eg.declare_sort("T")
+    eg.constructor("B", (), "S")
+    eg.add_rule(Rule(name="r", facts=[App("A", V("x"))], actions=[]))
+
+    eg.restore_state(snap)  # the capture survived the first restore intact
+    assert len(eg.tables["A"]) == 0
+    assert "T" not in eg.sorts
+    assert "B" not in eg.decls and "r" not in eg.rules
+
+
+def test_pop_inside_snapshot_scope_keeps_stack_entry_pristine():
+    # A pop *between* snapshot_state and restore_state installs a stack
+    # entry; rows added afterwards must not leak into that entry.
+    eg = EGraph()
+    eg.declare_sort("S")
+    eg.constructor("A", ("i64",), "S")
+    eg.push()
+    eg.add(App("A", 1))
+    stack = list(eg._snapshots)
+
+    snap = eg.snapshot_state()
+    eg.pop()  # installs the pinned stack entry's containers
+    eg.add(App("A", 7))  # mutation after the restore
+    eg.restore_state(snap)
+    eg._snapshots = stack  # what the session layer's rollback does
+
+    eg.pop()  # the client's own pop: back to the empty pre-push state
+    assert len(eg.tables["A"]) == 0
+
+
 def test_pop_counts_and_errors():
     eg = EGraph()
     assert eg.push() == 1

@@ -14,6 +14,8 @@ Three layers:
 """
 
 import os
+import subprocess
+import sys
 
 import pytest
 from hypothesis import given, settings
@@ -101,6 +103,35 @@ def test_reset_disarms_everything():
     FAULTS.trip("b")
 
 
+def test_env_spec_arms_lazily(monkeypatch):
+    monkeypatch.setenv("TEST_FAULTS", "p:2")
+    plan = FaultPlan(env_var="TEST_FAULTS")
+    assert plan.armed() == {"p": 2}
+    with pytest.raises(InjectedFault):
+        plan.trip("p")
+
+
+def test_malformed_env_spec_raises_clearly_at_first_trip(monkeypatch):
+    monkeypatch.setenv("TEST_FAULTS", ":2")
+    plan = FaultPlan(env_var="TEST_FAULTS")
+    with pytest.raises(ValueError, match="TEST_FAULTS"):
+        plan.trip("p")
+    plan.trip("p")  # reported once, loudly; later trips are plain no-ops
+
+
+def test_malformed_env_spec_does_not_break_import(tmp_path):
+    # The spec is parsed at first trip, never at import: a bad value must
+    # not turn every ``import repro.*`` into a ValueError traceback.
+    proc = subprocess.run(
+        [sys.executable, "-c", "import repro.session.store; print('imported')"],
+        env={**os.environ, "REPRO_FAULTS": "a:1:raise:extra"},
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "imported" in proc.stdout
+
+
 # ---------------------------------------------------------------------------
 # Atomic snapshot writes
 # ---------------------------------------------------------------------------
@@ -182,6 +213,24 @@ def test_corrupt_checkpoint_raises_checkpoint_error(tmp_path):
     with pytest.raises(CheckpointError, match="unreadable"):
         mgr.get(sid)
     assert mgr.stats()["durability"]["restore_failures"] == 1
+
+
+def test_restore_fault_counts_as_restore_failure(tmp_path):
+    # An injected "restore" fault takes the same exit as a real load
+    # failure: CheckpointError through the manager, counted in stats —
+    # never a raw InjectedFault escaping to a generic 500.
+    mgr = SessionManager(state_dir=str(tmp_path))
+    s = mgr.create_session()
+    s.run_egg("(datatype M (N i64))")
+    sid = s.id
+    mgr.checkpoint_session(sid)
+    mgr._sessions.pop(sid)  # force the next get() through restore
+    FAULTS.arm("restore", tag=sid)
+    with pytest.raises(CheckpointError):
+        mgr.get(sid)
+    assert mgr.stats()["durability"]["restore_failures"] == 1
+    # Disarmed now: the restore itself still works.
+    assert mgr.get(sid).id == sid
 
 
 def test_checkpoint_fault_keeps_session_live(tmp_path):

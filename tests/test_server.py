@@ -498,6 +498,57 @@ def test_rollback_preserves_client_push_pop_pairing():
         s.run_egg("(pop)")  # nothing left to pop
 
 
+def test_rollback_after_in_batch_pop_keeps_stack_entries_pristine():
+    # A failed batch that *popped* a client push must not leak its rows
+    # into the pinned stack entry: restore installs defensive copies, so
+    # the entry the rollback re-pins stays exactly as the client pushed it.
+    mgr = SessionManager()
+    s = mgr.create_session()
+    s.run_egg("(datatype M (N i64))\n(push)\n(let a (N 1))")
+    before = _engine_bytes(s)
+    with pytest.raises(ProgramError):
+        s.run_egg("(pop)\n(let b (N 7))\n(no-such-command)")
+    assert _engine_bytes(s) == before  # rollback: the batch never happened
+    s.run_egg("(pop)")  # the client's own pop: back to pre-push state
+    assert all(len(t.data) == 0 for t in s.engine.tables.values())
+    assert "a" not in s.evaluator.globals and "b" not in s.evaluator.globals
+
+
+def test_batch_on_passivated_session_lands_on_live_incarnation(tmp_path):
+    # The lookup-to-lock race: a session retired between manager.get and
+    # the batch acquiring its mutex must transparently redirect to the
+    # restored incarnation — its effects durable, not silently discarded.
+    mgr = SessionManager(state_dir=str(tmp_path))
+    mgr.add_base_from_program("tc", TC_PROGRAM)
+    s = mgr.get(mgr.create_session("tc").id)  # what a request handler holds
+    assert mgr._retire(s)  # passivation wins the race before the batch
+    assert s.retired and s.id not in mgr._sessions
+
+    s.run_egg("(edge 9 9)")  # ran on the orphan's live successor
+    live = mgr.get(s.id)
+    assert live is not s
+    check_9 = {
+        "op": "check",
+        "facts": [["a", "edge", [["l", ["i64", 9]], ["l", ["i64", 9]]]]],
+    }
+    assert live.run_program([check_9])[0]["ok"] is True
+    # And the same for the JSON program surface.
+    assert mgr._retire(live)
+    results = s.run_program([{"op": "run", "limit": 10}, CHECK_1_5])
+    assert results[1]["ok"] is True
+    assert mgr.stats()["durability"]["restores"] >= 2
+
+
+def test_batch_on_retired_session_without_store_is_an_explicit_error():
+    # Without a store, losing the race to eviction is loud (the pre-PR
+    # 404), never a 200 whose effects evaporate.
+    mgr = SessionManager()
+    s = mgr.get(mgr.create_session().id)
+    assert mgr._retire(s)
+    with pytest.raises(UnknownSessionError):
+        s.run_egg("(datatype M (N i64))")
+
+
 def test_http_checkpoint_endpoint_and_passivated_listing(tmp_path):
     live = LiveServer(max_sessions=1, state_dir=str(tmp_path))
     try:
